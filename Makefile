@@ -1,0 +1,37 @@
+# memstream build targets. Stdlib-only Go; no external tools required.
+
+GO ?= go
+
+.PHONY: all build test vet bench repro fuzz cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# bench regenerates every paper artifact as a testing.B benchmark.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# repro writes every table/figure to results/ as text artifacts.
+repro:
+	$(GO) run ./cmd/memsbench -out results
+
+# fuzz gives each fuzz target a short budget; extend for deeper runs.
+fuzz:
+	$(GO) test -fuzz FuzzParseBytes -fuzztime 30s ./internal/units/
+	$(GO) test -fuzz FuzzParseRate -fuzztime 30s ./internal/units/
+	$(GO) test -fuzz FuzzReadText -fuzztime 30s ./internal/trace/
+	$(GO) test -fuzz FuzzReadBinary -fuzztime 30s ./internal/trace/
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	rm -rf results

@@ -1,0 +1,209 @@
+package memstream
+
+// One benchmark per paper artifact: each regenerates the corresponding
+// table or figure through the experiment harness, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the full evaluation and times it. The rendered artifacts
+// themselves come from `go run ./cmd/memsbench`.
+
+import (
+	"testing"
+
+	"memstream/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Output) == 0 {
+			b.Fatal("empty artifact")
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (storage media characteristics).
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkTable2 regenerates Table 2 (model parameter glossary).
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkTable3 regenerates Table 3 (2007 device characteristics).
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+
+// BenchmarkFig2 regenerates Figure 2 (effective throughput vs IO size).
+func BenchmarkFig2(b *testing.B) { benchExperiment(b, "fig2") }
+
+// BenchmarkFig4 regenerates Figure 4 (single-device MEMS IO schedule).
+func BenchmarkFig4(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5 regenerates Figure 5 (MEMS bank IO schedule, N=45, k=3).
+func BenchmarkFig5(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig6 regenerates Figure 6 (DRAM requirement sweeps).
+func BenchmarkFig6(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7a regenerates Figure 7(a) (cost reduction vs latency ratio).
+func BenchmarkFig7a(b *testing.B) { benchExperiment(b, "fig7a") }
+
+// BenchmarkFig7b regenerates Figure 7(b) (cost-reduction contour regions).
+func BenchmarkFig7b(b *testing.B) { benchExperiment(b, "fig7b") }
+
+// BenchmarkFig8 regenerates Figure 8 (dollar savings vs stream count).
+func BenchmarkFig8(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9a regenerates Figure 9(a) (cache performance at 10KB/s).
+func BenchmarkFig9a(b *testing.B) { benchExperiment(b, "fig9a") }
+
+// BenchmarkFig9b regenerates Figure 9(b) (cache performance at 1MB/s).
+func BenchmarkFig9b(b *testing.B) { benchExperiment(b, "fig9b") }
+
+// BenchmarkFig10 regenerates Figure 10 (throughput vs cache bank size).
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkSensitivity regenerates the footnote-2 cost/bandwidth
+// sensitivity table.
+func BenchmarkSensitivity(b *testing.B) { benchExperiment(b, "sens") }
+
+// BenchmarkValidate runs the model-vs-simulation cross-check (our
+// addition): six end-to-end discrete-event server runs.
+func BenchmarkValidate(b *testing.B) { benchExperiment(b, "validate") }
+
+// --- Ablation benches for the design choices DESIGN.md calls out ---
+
+// BenchmarkAblationGSS compares the GSS scheduler trade-off against
+// time-cycle scheduling and the MEMS buffer.
+func BenchmarkAblationGSS(b *testing.B) { benchExperiment(b, "ablation-gss") }
+
+// BenchmarkAblationEDF compares EDF and time-cycle scheduling in
+// simulation.
+func BenchmarkAblationEDF(b *testing.B) { benchExperiment(b, "ablation-edf") }
+
+// BenchmarkAblationLayout measures the §7 MEMS placement policies.
+func BenchmarkAblationLayout(b *testing.B) { benchExperiment(b, "ablation-layout") }
+
+// BenchmarkPlanDirect times one closed-form Theorem 1 evaluation.
+func BenchmarkPlanDirect(b *testing.B) {
+	load := Load{Streams: 2000, BitRate: 100e3}
+	d := FutureDisk()
+	for i := 0; i < b.N; i++ {
+		if _, err := PlanDirect(load, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanMEMSBuffer times one Theorem 2 evaluation including the
+// cycle-ratio quantization.
+func BenchmarkPlanMEMSBuffer(b *testing.B) {
+	load := Load{Streams: 2000, BitRate: 100e3}
+	d, m := FutureDisk(), G3MEMS()
+	for i := 0; i < b.N; i++ {
+		if _, err := PlanMEMSBuffer(load, d, m, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMaxStreamsSearch times the binary search used throughout the
+// Figure 9/10 sweeps.
+func BenchmarkMaxStreamsSearch(b *testing.B) {
+	d := FutureDisk()
+	for i := 0; i < b.N; i++ {
+		if n := MaxStreams(100e3, d, 5e9); n == 0 {
+			b.Fatal("no streams")
+		}
+	}
+}
+
+// BenchmarkSimulateDirect times a full discrete-event run of the baseline
+// architecture (50 streams, 10 IO cycles).
+func BenchmarkSimulateDirect(b *testing.B) {
+	cfg := SimConfig{Architecture: DirectServer, Streams: 50, BitRate: 1e6}
+	for i := 0; i < b.N; i++ {
+		res, err := Simulate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Underflows != 0 {
+			b.Fatal("underflow")
+		}
+	}
+}
+
+// BenchmarkSimulateBuffered times a full discrete-event run of the
+// MEMS-buffered pipeline.
+func BenchmarkSimulateBuffered(b *testing.B) {
+	cfg := SimConfig{Architecture: BufferedServer, Streams: 200, BitRate: 1e5}
+	for i := 0; i < b.N; i++ {
+		res, err := Simulate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Underflows != 0 {
+			b.Fatal("underflow")
+		}
+	}
+}
+
+// BenchmarkSimulateCachedStriped and ...Replicated time the two
+// cache-management policies end to end — the ablation behind Figure 9's
+// policy comparison.
+func BenchmarkSimulateCachedStriped(b *testing.B) {
+	benchCached(b, Striped)
+}
+
+func BenchmarkSimulateCachedReplicated(b *testing.B) {
+	benchCached(b, Replicated)
+}
+
+func benchCached(b *testing.B, policy CachePolicy) {
+	b.Helper()
+	cfg := SimConfig{
+		Architecture: CachedServer, Streams: 200, BitRate: 1e5,
+		Titles: 400, CachePolicy: policy,
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := Simulate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.FromCache == 0 {
+			b.Fatal("cache unused")
+		}
+	}
+}
+
+// BenchmarkDynamics runs the session-dynamics (Erlang blocking) study.
+func BenchmarkDynamics(b *testing.B) { benchExperiment(b, "dynamics") }
+
+// BenchmarkBestEffort runs the MEMS-vs-disk best-effort response-time
+// comparison from the related-work discussion.
+func BenchmarkBestEffort(b *testing.B) { benchExperiment(b, "besteffort") }
+
+// BenchmarkAblationRouting runs the §3.1.2 bank-routing comparison.
+func BenchmarkAblationRouting(b *testing.B) { benchExperiment(b, "ablation-routing") }
+
+// BenchmarkArray prices disk-array scaling against the MEMS bank.
+func BenchmarkArray(b *testing.B) { benchExperiment(b, "array") }
+
+// BenchmarkFig9Zipf runs the Zipf-popularity robustness check.
+func BenchmarkFig9Zipf(b *testing.B) { benchExperiment(b, "fig9-zipf") }
+
+// BenchmarkGenerations sweeps the G1-G3 device generations.
+func BenchmarkGenerations(b *testing.B) { benchExperiment(b, "generations") }
+
+// BenchmarkYear2002 evaluates the 2002 motivating baseline.
+func BenchmarkYear2002(b *testing.B) { benchExperiment(b, "year2002") }
+
+// BenchmarkHybrid simulates the §7 buffer+cache bank splits.
+func BenchmarkHybrid(b *testing.B) { benchExperiment(b, "hybrid") }
+
+// BenchmarkAblationDevCache measures the on-device cache across workload
+// classes.
+func BenchmarkAblationDevCache(b *testing.B) { benchExperiment(b, "ablation-devcache") }

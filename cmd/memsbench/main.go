@@ -1,0 +1,80 @@
+// Command memsbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	memsbench                  # run every experiment
+//	memsbench -list            # list experiment IDs
+//	memsbench -run fig9a       # run one experiment
+//	memsbench -run fig6 -csv   # also emit the series as CSV
+//	memsbench -out results/    # write each artifact to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"memstream/internal/experiments"
+	"memstream/internal/plot"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "memsbench:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the tool against the given arguments, writing artifacts to
+// w. Factored out of main so the CLI surface is testable.
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("memsbench", flag.ContinueOnError)
+	fs.SetOutput(w)
+	list := fs.Bool("list", false, "list experiment IDs and exit")
+	runID := fs.String("run", "", "run a single experiment by ID (default: all)")
+	csv := fs.Bool("csv", false, "append CSV series data to plot experiments")
+	out := fs.String("out", "", "write artifacts to this directory instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			title, _ := experiments.Title(id)
+			fmt.Fprintf(w, "%-16s %s\n", id, title)
+		}
+		return nil
+	}
+
+	ids := experiments.IDs()
+	if *runID != "" {
+		ids = []string{*runID}
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, id := range ids {
+		res, err := experiments.Run(id)
+		if err != nil {
+			return err
+		}
+		text := fmt.Sprintf("==== %s: %s ====\n%s\n", res.ID, res.Title, res.Output)
+		if *csv && len(res.Series) > 0 {
+			text += "\nCSV:\n" + plot.CSV(res.Series)
+		}
+		if *out != "" {
+			path := filepath.Join(*out, id+".txt")
+			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %s\n", path)
+			continue
+		}
+		fmt.Fprint(w, text)
+	}
+	return nil
+}

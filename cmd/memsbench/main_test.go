@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"table1", "fig9a", "validate", "dynamics"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list missing %s", want)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-run", "table2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "==== table2") {
+		t.Errorf("missing header:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "S_disk-dram") {
+		t.Error("missing table body")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-run", "fig99"}, &out); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-run", "fig2", "-csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "CSV:") {
+		t.Error("CSV section missing")
+	}
+	if !strings.Contains(out.String(), "x,MEMS (max. latency),Disk (avg. latency)") {
+		t.Errorf("CSV header missing:\n%s", out.String())
+	}
+}
+
+func TestRunOutDirectory(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"-run", "table1", "-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table1.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Storage media characteristics") {
+		t.Error("artifact file content wrong")
+	}
+	if !strings.Contains(out.String(), "wrote ") {
+		t.Error("no progress line")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-nope"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,161 @@
+// Command memserve is a demonstration streaming server that uses the
+// analytical planner for admission control. Clients connect over TCP and
+// send one line:
+//
+//	PLAY <bitrate>      e.g. "PLAY 100KB" — request a stream at that rate
+//	STAT                — report admitted streams and capacity
+//
+// Admitted clients receive synthetic stream data paced at the requested
+// rate until they disconnect (or -limit bytes have been sent). Admission
+// uses the paper's Theorem 1 with the FutureDisk profile and the
+// configured DRAM budget, so the server says "busy" exactly when the
+// model says one more stream would violate the real-time requirement.
+//
+// Usage:
+//
+//	memserve -addr :9090 -dram 1GB -bitrate 100KB
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"memstream/internal/disk"
+	"memstream/internal/model"
+	"memstream/internal/schedule"
+	"memstream/internal/units"
+)
+
+type server struct {
+	mu    sync.Mutex
+	adm   *schedule.MixedAdmission
+	rate  units.ByteRate // default per-stream rate and capacity yardstick
+	limit units.Bytes
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9090", "listen address")
+	dram := flag.String("dram", "1GB", "DRAM budget for admission control")
+	rate := flag.String("bitrate", "100KB", "per-stream bit-rate the server is provisioned for")
+	limit := flag.String("limit", "1MB", "bytes to stream per client (0 = unlimited)")
+	flag.Parse()
+
+	dramCap, err := units.ParseBytes(*dram)
+	if err != nil {
+		log.Fatalf("memserve: %v", err)
+	}
+	bitRate, err := units.ParseRate(*rate)
+	if err != nil {
+		log.Fatalf("memserve: %v", err)
+	}
+	limitBytes, err := units.ParseBytes(*limit)
+	if err != nil {
+		log.Fatalf("memserve: %v", err)
+	}
+
+	p := disk.FutureDisk()
+	s := &server{
+		adm: &schedule.MixedAdmission{
+			Disk:    model.DeviceSpec{Rate: p.OuterRate, Latency: p.AvgAccess()},
+			DRAMCap: dramCap,
+		},
+		rate:  bitRate,
+		limit: limitBytes,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("memserve: %v", err)
+	}
+	log.Printf("memserve: listening on %s (provisioned for %v streams at %v, %v DRAM)",
+		ln.Addr(), s.capacity(), bitRate, dramCap)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Printf("memserve: accept: %v", err)
+			continue
+		}
+		go s.handle(conn)
+	}
+}
+
+// capacity is the homogeneous-rate yardstick shown in STAT responses; the
+// actual admission decision handles arbitrary rate mixes.
+func (s *server) capacity() int {
+	return model.MaxStreamsDirect(s.rate, s.adm.Disk, s.adm.DRAMCap)
+}
+
+func (s *server) handle(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return
+	}
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) == 0 {
+		fmt.Fprintln(conn, "ERR empty request")
+		return
+	}
+	switch strings.ToUpper(fields[0]) {
+	case "STAT":
+		s.mu.Lock()
+		admitted := s.adm.Admitted()
+		agg := s.adm.Aggregate()
+		s.mu.Unlock()
+		fmt.Fprintf(conn, "OK admitted=%d capacity=%d aggregate=%v\n", admitted, s.capacity(), agg)
+	case "PLAY":
+		rate := s.rate
+		if len(fields) > 1 {
+			parsed, err := units.ParseRate(fields[1])
+			if err != nil {
+				fmt.Fprintf(conn, "ERR bad rate %q\n", fields[1])
+				return
+			}
+			rate = parsed
+		}
+		s.mu.Lock()
+		ok, err := s.adm.TryAdmit(rate)
+		s.mu.Unlock()
+		if err != nil || !ok {
+			fmt.Fprintln(conn, "BUSY real-time capacity exhausted")
+			return
+		}
+		defer func() {
+			s.mu.Lock()
+			s.adm.Release(rate)
+			s.mu.Unlock()
+		}()
+		fmt.Fprintf(conn, "OK streaming at %v\n", rate)
+		s.stream(conn, rate)
+	default:
+		fmt.Fprintf(conn, "ERR unknown command %q\n", fields[0])
+	}
+}
+
+// stream paces synthetic data at the requested rate in 100ms quanta.
+func (s *server) stream(conn net.Conn, rate units.ByteRate) {
+	const quantum = 100 * time.Millisecond
+	chunk := make([]byte, int(units.BytesIn(rate, quantum)))
+	for i := range chunk {
+		chunk[i] = byte('A' + i%26)
+	}
+	var sent units.Bytes
+	ticker := time.NewTicker(quantum)
+	defer ticker.Stop()
+	for range ticker.C {
+		if _, err := conn.Write(chunk); err != nil {
+			return
+		}
+		sent += units.Bytes(len(chunk))
+		if s.limit > 0 && sent >= s.limit {
+			return
+		}
+	}
+}

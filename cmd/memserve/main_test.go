@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"memstream/internal/disk"
+	"memstream/internal/model"
+	"memstream/internal/schedule"
+	"memstream/internal/units"
+)
+
+func testServer(dram units.Bytes, bitRate units.ByteRate) *server {
+	p := disk.FutureDisk()
+	return &server{
+		adm: &schedule.MixedAdmission{
+			Disk:    model.DeviceSpec{Rate: p.OuterRate, Latency: p.AvgAccess()},
+			DRAMCap: dram,
+		},
+		rate:  bitRate,
+		limit: 64 * units.KB,
+	}
+}
+
+// exchange runs the handler on one end of a pipe and returns the first
+// response line plus how many stream bytes followed.
+func exchange(t *testing.T, s *server, request string) (string, int) {
+	t.Helper()
+	client, srv := net.Pipe()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.handle(srv)
+	}()
+	if err := client.SetDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Write([]byte(request + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(client)
+	line, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	// Drain whatever stream data follows until the server closes.
+	n := 0
+	buf := make([]byte, 4096)
+	for {
+		m, err := r.Read(buf)
+		n += m
+		if err != nil {
+			break
+		}
+	}
+	client.Close()
+	wg.Wait()
+	return strings.TrimSpace(line), n
+}
+
+func TestStatReportsCapacity(t *testing.T) {
+	s := testServer(1*units.GB, 100*units.KBPS)
+	line, _ := exchange(t, s, "STAT")
+	if !strings.HasPrefix(line, "OK admitted=0 capacity=") {
+		t.Fatalf("STAT response = %q", line)
+	}
+}
+
+func TestPlayStreamsData(t *testing.T) {
+	s := testServer(1*units.GB, 100*units.KBPS)
+	line, n := exchange(t, s, "PLAY 100KB")
+	if !strings.HasPrefix(line, "OK streaming") {
+		t.Fatalf("PLAY response = %q", line)
+	}
+	if n < int(s.limit) {
+		t.Errorf("streamed %d bytes, want ≥ %v", n, s.limit)
+	}
+	// Admission released after the stream ends.
+	if s.adm.Admitted() != 0 {
+		t.Errorf("admitted = %d after disconnect", s.adm.Admitted())
+	}
+}
+
+func TestPlayRejectsBadRate(t *testing.T) {
+	s := testServer(1*units.GB, 100*units.KBPS)
+	line, _ := exchange(t, s, "PLAY fast")
+	if !strings.HasPrefix(line, "ERR") {
+		t.Fatalf("bad-rate response = %q", line)
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	s := testServer(1*units.GB, 100*units.KBPS)
+	line, _ := exchange(t, s, "DELETE everything")
+	if !strings.HasPrefix(line, "ERR") {
+		t.Fatalf("response = %q", line)
+	}
+}
+
+func TestBusyWhenAdmissionExhausted(t *testing.T) {
+	// Tiny DRAM budget: very few admissible streams.
+	s := testServer(1*units.MB, 10*units.MBPS)
+	cap := s.capacity()
+	if cap <= 0 || cap > 10 {
+		t.Fatalf("test wants a small capacity, got %d", cap)
+	}
+	// Saturate admission directly, then try a connection.
+	for i := 0; i < cap; i++ {
+		ok, err := s.adm.TryAdmit(10 * units.MBPS)
+		if err != nil || !ok {
+			t.Fatalf("admit %d failed", i)
+		}
+	}
+	line, _ := exchange(t, s, "PLAY")
+	if !strings.HasPrefix(line, "BUSY") {
+		t.Fatalf("over-capacity response = %q", line)
+	}
+}

@@ -1,0 +1,206 @@
+// Command memsim exercises the device simulators directly: it generates or
+// replays an IO trace against the disk and MEMS models and reports
+// per-device service behaviour — a small standalone counterpart to the
+// DiskSim-style tooling the CMU MEMS papers used.
+//
+// Usage:
+//
+//	memsim -device g3 -n 10000 -io 64KB            # random IOs on G3 MEMS
+//	memsim -device futuredisk -policy c-look ...    # scheduled batch
+//	memsim -record trace.txt ...                    # save the trace
+//	memsim -replay trace.txt -device g3             # replay a saved trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"memstream/internal/device"
+	"memstream/internal/disk"
+	"memstream/internal/mems"
+	"memstream/internal/sim"
+	"memstream/internal/trace"
+	"memstream/internal/units"
+)
+
+// serviceable abstracts the two device simulators for the replay loop.
+type serviceable interface {
+	Service(now time.Duration, r device.Request) (device.Completion, error)
+	Geometry() device.Geometry
+	Model() device.Model
+}
+
+func main() {
+	devName := flag.String("device", "g3", "device: g3, g2, g1, futuredisk, atlas10k3, array2, array4")
+	n := flag.Int("n", 10000, "number of random IOs to generate")
+	ioSize := flag.String("io", "64KB", "IO size for generated traces")
+	seed := flag.Uint64("seed", 1, "RNG seed for generated traces")
+	policy := flag.String("policy", "fcfs", "scheduling for generated batches: fcfs, sptf/sstf, elevator/c-look")
+	record := flag.String("record", "", "write the generated trace to this file")
+	replay := flag.String("replay", "", "replay a trace file instead of generating")
+	flag.Parse()
+
+	dev, isDisk, err := openDevice(*devName)
+	if err != nil {
+		fatal(err)
+	}
+
+	var events []trace.Event
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		events, err = trace.ReadText(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		size, err := units.ParseBytes(*ioSize)
+		if err != nil {
+			fatal(err)
+		}
+		events = generate(dev.Geometry(), *n, size, *seed)
+		if *record != "" {
+			f, err := os.Create(*record)
+			if err != nil {
+				fatal(err)
+			}
+			if err := trace.WriteText(f, events); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	completions, err := runTrace(dev, isDisk, *policy, events)
+	if err != nil {
+		fatal(err)
+	}
+	report(dev, events, completions)
+}
+
+func openDevice(name string) (serviceable, bool, error) {
+	switch name {
+	case "g1":
+		d, err := mems.New(mems.G1())
+		return d, false, err
+	case "g2":
+		d, err := mems.New(mems.G2())
+		return d, false, err
+	case "g3":
+		d, err := mems.New(mems.G3())
+		return d, false, err
+	case "futuredisk":
+		d, err := disk.New(disk.FutureDisk())
+		return d, true, err
+	case "atlas10k3":
+		d, err := disk.New(disk.Atlas10K3())
+		return d, true, err
+	case "array2":
+		a, err := disk.NewArray(2, disk.FutureDisk(), units.Bytes(1e6))
+		return a, true, err
+	case "array4":
+		a, err := disk.NewArray(4, disk.FutureDisk(), units.Bytes(1e6))
+		return a, true, err
+	}
+	return nil, false, fmt.Errorf("unknown device %q", name)
+}
+
+func generate(g device.Geometry, n int, io units.Bytes, seed uint64) []trace.Event {
+	rng := sim.NewRNG(seed)
+	blocks := int64(io / g.BlockSize)
+	if blocks < 1 {
+		blocks = 1
+	}
+	events := make([]trace.Event, n)
+	for i := range events {
+		lbn := int64(rng.Float64() * float64(g.Blocks-blocks))
+		events[i] = trace.Event{
+			At: time.Duration(i) * time.Microsecond, // batch arrival
+			Op: device.Read, Block: lbn, Blocks: blocks, Stream: i,
+		}
+	}
+	return events
+}
+
+func runTrace(dev serviceable, isDisk bool, policy string, events []trace.Event) ([]device.Completion, error) {
+	switch d := dev.(type) {
+	case *disk.Device:
+		p := disk.FCFS
+		switch policy {
+		case "sptf", "sstf":
+			p = disk.SSTF
+		case "elevator", "c-look":
+			p = disk.CLook
+		}
+		s := disk.NewScheduler(d, p)
+		for _, e := range events {
+			s.Enqueue(e.Request())
+		}
+		return s.DrainAll(0)
+	case *mems.Device:
+		p := mems.FCFS
+		switch policy {
+		case "sptf", "sstf":
+			p = mems.SPTF
+		case "elevator", "c-look":
+			p = mems.Elevator
+		}
+		s := mems.NewScheduler(d, p)
+		for _, e := range events {
+			s.Enqueue(e.Request())
+		}
+		return s.DrainAll(0)
+	case *disk.Array:
+		// Arrays serve in arrival order; member parallelism happens inside.
+		var out []device.Completion
+		var now time.Duration
+		for _, e := range events {
+			c, err := d.Service(now, e.Request())
+			if err != nil {
+				return out, err
+			}
+			out = append(out, c)
+			now = c.Finish
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("unsupported device type %T", dev)
+}
+
+func report(dev serviceable, events []trace.Event, cs []device.Completion) {
+	if len(cs) == 0 {
+		fmt.Println("no completions")
+		return
+	}
+	m := dev.Model()
+	var pos, xfer time.Duration
+	var bytes units.Bytes
+	for _, c := range cs {
+		pos += c.Position
+		xfer += c.Transfer
+		bytes += units.Bytes(c.Blocks) * dev.Geometry().BlockSize
+	}
+	span := cs[len(cs)-1].Finish
+	st := trace.Summarize(events)
+	fmt.Printf("device:          %s (R=%v, L̄=%v, max %v)\n", m.Name, m.Rate, m.AvgLatency, m.MaxLatency)
+	fmt.Printf("trace:           %d events (%d reads, %d writes), %d blocks\n",
+		st.Events, st.Reads, st.Writes, st.TotalBlocks)
+	fmt.Printf("elapsed:         %v\n", span.Round(time.Microsecond))
+	fmt.Printf("throughput:      %v\n", units.RateOf(bytes, span))
+	fmt.Printf("avg positioning: %v\n", (pos / time.Duration(len(cs))).Round(time.Microsecond))
+	fmt.Printf("avg transfer:    %v\n", (xfer / time.Duration(len(cs))).Round(time.Microsecond))
+	fmt.Printf("utilization:     %.1f%% of media rate\n",
+		100*float64(units.RateOf(bytes, span))/float64(m.Rate))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "memsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,68 @@
+package memstream_test
+
+import (
+	"fmt"
+
+	"memstream"
+)
+
+// Planning a direct disk→DRAM server for 100 DVD-quality streams.
+func ExamplePlanDirect() {
+	plan, err := memstream.PlanDirect(
+		memstream.Load{Streams: 100, BitRate: 1e6},
+		memstream.FutureDisk(),
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("cycle %v, per-stream %.0fKB, total %.1fMB\n",
+		plan.Cycle, plan.PerStreamBytes/1e3, plan.TotalDRAMBytes/1e6)
+	// Output:
+	// cycle 645ms, per-stream 645KB, total 64.5MB
+}
+
+// The paper's Eq 11: a cache holding 5% of a 10:90 catalog absorbs 45% of
+// accesses.
+func ExampleHitRatio() {
+	h, _ := memstream.HitRatio(10, 90, 0.05)
+	fmt.Printf("h = %.2f\n", h)
+	// Output:
+	// h = 0.45
+}
+
+// Folding a heterogeneous mix into the model's (N, B̄) form.
+func ExampleMixedLoad() {
+	load := memstream.MixedLoad(
+		memstream.ClassCount{Streams: 100, BitRate: 1e6}, // DVD
+		memstream.ClassCount{Streams: 900, BitRate: 1e5}, // DivX
+	)
+	fmt.Printf("N=%d, B̄=%.0fKB/s\n", load.Streams, load.BitRate/1e3)
+	// Output:
+	// N=1000, B̄=190KB/s
+}
+
+// Sizing the MEMS buffer for a DivX population: the staged disk IOs grow
+// three orders of magnitude while DRAM shrinks ~16x.
+func ExamplePlanMEMSBuffer() {
+	load := memstream.Load{Streams: 2000, BitRate: 1e5}
+	direct, _ := memstream.PlanDirect(load, memstream.FutureDisk())
+	buffered, err := memstream.PlanMEMSBuffer(load, memstream.FutureDisk(), memstream.G3MEMS(), 2)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("DRAM %.0fx smaller, disk IOs %.0fKB -> %.0fMB\n",
+		direct.TotalDRAMBytes/buffered.TotalDRAMBytes,
+		direct.IOBytes/1e3, buffered.DiskIOBytes/1e6)
+	// Output:
+	// DRAM 16x smaller, disk IOs 2580KB -> 5MB
+}
+
+// Capacity planning: the maximum HDTV population one FutureDisk carries.
+func ExampleMaxStreams() {
+	n := memstream.MaxStreams(1e7, memstream.FutureDisk(), 0)
+	fmt.Printf("max HDTV streams: %d\n", n)
+	// Output:
+	// max HDTV streams: 29
+}

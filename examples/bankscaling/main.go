@@ -1,0 +1,66 @@
+// bankscaling explores how the MEMS buffer bank scales: for a growing
+// stream population it finds the smallest feasible bank, shows Corollary
+// 2's k-fold throughput/latency scaling in the resulting plans, and
+// validates one configuration end-to-end in the discrete-event simulator.
+//
+//	go run ./examples/bankscaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memstream"
+)
+
+func main() {
+	diskDev := memstream.FutureDisk()
+	memsDev := memstream.G3MEMS()
+	bitRate := 100e3 // DivX-class streams
+
+	fmt.Println("MEMS buffer bank scaling for 100KB/s streams on FutureDisk")
+	fmt.Printf("\n%8s %4s %14s %14s %10s\n", "streams", "k", "MEMS cycle", "DRAM total", "bank BW")
+	for _, n := range []int{250, 500, 1000, 1600, 2000, 2400} {
+		load := memstream.Load{Streams: n, BitRate: bitRate}
+		k, plan, err := smallestBank(load, diskDev, memsDev, 16)
+		if err != nil {
+			fmt.Printf("%8d %4s %s\n", n, "-", err)
+			continue
+		}
+		fmt.Printf("%8d %4d %14v %12.1fMB %7.0fMB/s\n",
+			n, k, plan.MEMSCycle, plan.TotalDRAMBytes/1e6,
+			float64(k)*memsDev.RateBytesPerSec/1e6)
+	}
+
+	fmt.Println("\nThe bank must carry 2x the stream bandwidth (every byte is staged and")
+	fmt.Println("re-read), so k grows with N·B̄; per Corollary 2 the k-device bank then")
+	fmt.Println("behaves as one device with k-fold throughput and 1/k latency.")
+
+	// End-to-end check of the k=2 point.
+	res, err := memstream.Simulate(memstream.SimConfig{
+		Architecture: memstream.BufferedServer,
+		Streams:      1000,
+		BitRate:      bitRate,
+		MEMSDevices:  2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSimulated N=1000, k=2 over %v: %d underflows, %d disk IOs, %d MEMS IOs\n",
+		res.SimulatedTime, res.Underflows, res.DiskIOs, res.MEMSIOs)
+	fmt.Printf("Peak DRAM %.1fMB vs planned minimum %.1fMB (pipeline headroom)\n",
+		res.PeakDRAMBytes/1e6, res.PlannedDRAMBytes/1e6)
+}
+
+func smallestBank(load memstream.Load, diskDev, memsDev memstream.StorageDevice,
+	maxK int) (int, memstream.BufferPlan, error) {
+	var lastErr error
+	for k := 1; k <= maxK; k++ {
+		plan, err := memstream.PlanMEMSBuffer(load, diskDev, memsDev, k)
+		if err == nil {
+			return k, plan, nil
+		}
+		lastErr = err
+	}
+	return 0, memstream.BufferPlan{}, fmt.Errorf("no bank ≤%d devices works: %w", maxK, lastErr)
+}

@@ -1,0 +1,65 @@
+// cachesizing picks a MEMS cache configuration for a content popularity
+// profile: it sweeps the bank size and both cache-management policies at a
+// fixed budget and reports the throughput of each option — the decision
+// the paper's Figures 9 and 10 inform.
+//
+//	go run ./examples/cachesizing -x 5 -y 95 -budget 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"memstream"
+)
+
+func main() {
+	x := flag.Float64("x", 10, "popularity X: percent of titles that are hot")
+	y := flag.Float64("y", 90, "popularity Y: percent of accesses the hot titles draw")
+	budget := flag.Float64("budget", 100, "total buffering budget in dollars")
+	bitRate := flag.Float64("bitrate", 100e3, "stream bit-rate in bytes/s")
+	content := flag.Float64("content", 1e12, "catalog footprint in bytes")
+	flag.Parse()
+
+	diskDev := memstream.FutureDisk()
+	memsDev := memstream.G3MEMS()
+	costs := memstream.DefaultCosts()
+	devCost := costs.MEMSPerGB * memsDev.CapacityBytes / 1e9
+
+	baselineDRAM := *budget / costs.DRAMPerGB * 1e9
+	baseline := memstream.MaxStreams(*bitRate, diskDev, baselineDRAM)
+	fmt.Printf("Popularity %g:%g, $%.0f budget, %.0fKB/s streams, %.0fGB catalog\n\n",
+		*x, *y, *budget, *bitRate/1e3, *content/1e9)
+	fmt.Printf("No cache: %.1fGB DRAM -> %d streams\n\n", baselineDRAM/1e9, baseline)
+	fmt.Printf("%3s %10s %12s %12s %12s\n", "k", "DRAM left", "striped", "replicated", "best gain")
+
+	bestStreams, bestDesc := baseline, "no cache"
+	for k := 1; float64(k)*devCost < *budget; k++ {
+		dram := (*budget - float64(k)*devCost) / costs.DRAMPerGB * 1e9
+		st := memstream.MaxStreamsWithCache(*bitRate, diskDev, memsDev, k,
+			memstream.Striped, *content, *x, *y, dram)
+		re := memstream.MaxStreamsWithCache(*bitRate, diskDev, memsDev, k,
+			memstream.Replicated, *content, *x, *y, dram)
+		top, desc := st, fmt.Sprintf("striped k=%d", k)
+		if re > st {
+			top, desc = re, fmt.Sprintf("replicated k=%d", k)
+		}
+		gain := 100 * (float64(top) - float64(baseline)) / float64(baseline)
+		fmt.Printf("%3d %8.1fGB %12d %12d %+10.0f%%\n", k, dram/1e9, st, re, gain)
+		if top > bestStreams {
+			bestStreams, bestDesc = top, desc
+		}
+		if k >= 8 {
+			break
+		}
+	}
+
+	fmt.Printf("\nRecommendation: %s (%d streams)\n", bestDesc, bestStreams)
+	h, err := memstream.HitRatio(*x, *y, memsDev.CapacityBytes / *content)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("One device caches %.1f%% of the catalog for a %.0f%% hit ratio (Eq 11).\n",
+		100*memsDev.CapacityBytes / *content, 100*h)
+}

@@ -1,0 +1,83 @@
+// capacityplanner sizes a streaming service end to end: given an arrival
+// rate and session length, it finds the admission capacity that meets a
+// blocking target (Erlang-B), then prices the server configurations that
+// provide that capacity — the teletraffic layer on top of the paper's
+// throughput results.
+//
+//	go run ./examples/capacityplanner -arrivals 3 -hold 10m -blocking 0.01
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"memstream"
+)
+
+func main() {
+	arrivals := flag.Float64("arrivals", 3, "session arrivals per second")
+	hold := flag.Duration("hold", 10*time.Minute, "mean session length")
+	blocking := flag.Float64("blocking", 0.01, "target blocking probability")
+	bitRate := flag.Float64("bitrate", 100e3, "per-stream rate in bytes/s")
+	flag.Parse()
+
+	offered := *arrivals * hold.Seconds()
+	capacity, err := memstream.CapacityForBlocking(offered, *blocking)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Offered load: %.0f erlangs (%.1f/s arrivals, %v sessions)\n",
+		offered, *arrivals, *hold)
+	fmt.Printf("Capacity for ≤%.1f%% blocking: %d concurrent streams\n\n",
+		100**blocking, capacity)
+
+	diskDev := memstream.FutureDisk()
+	memsDev := memstream.G3MEMS()
+	costs := memstream.DefaultCosts()
+	load := memstream.Load{Streams: capacity, BitRate: *bitRate}
+
+	// Option 1: direct.
+	if plan, err := memstream.PlanDirect(load, diskDev); err == nil {
+		fmt.Printf("direct:       %7.2fGB DRAM  -> $%.2f\n",
+			plan.TotalDRAMBytes/1e9, plan.TotalDRAMBytes/1e9*costs.DRAMPerGB)
+	} else {
+		fmt.Printf("direct:       infeasible on one disk (%v)\n", err)
+	}
+	// Option 2: MEMS buffer, smallest feasible bank.
+	for k := 2; k <= 16; k++ {
+		plan, err := memstream.PlanMEMSBuffer(load, diskDev, memsDev, k)
+		if err != nil {
+			continue
+		}
+		bank := float64(k) * costs.MEMSPerGB * memsDev.CapacityBytes / 1e9
+		fmt.Printf("MEMS buffer:  %7.3fGB DRAM + %dxG3 -> $%.2f\n",
+			plan.TotalDRAMBytes/1e9, k,
+			plan.TotalDRAMBytes/1e9*costs.DRAMPerGB+bank)
+		break
+	}
+	// Option 3: MEMS cache under a 5:95 popularity profile.
+	for k := 1; k <= 8; k++ {
+		dramNeeded := dramForCache(load, diskDev, memsDev, k)
+		if dramNeeded < 0 {
+			continue
+		}
+		bank := float64(k) * costs.MEMSPerGB * memsDev.CapacityBytes / 1e9
+		fmt.Printf("MEMS cache:   %7.3fGB DRAM + %dxG3 -> $%.2f (5:95 popularity)\n",
+			dramNeeded/1e9, k, dramNeeded/1e9*costs.DRAMPerGB+bank)
+		break
+	}
+	fmt.Println("\nPick the cheapest feasible row; re-run with your popularity profile.")
+}
+
+// dramForCache returns the DRAM a k-device striped cache configuration
+// needs for the load, or -1 if infeasible.
+func dramForCache(load memstream.Load, diskDev, memsDev memstream.StorageDevice, k int) float64 {
+	plan, err := memstream.PlanMEMSCache(load, diskDev, memsDev, k,
+		memstream.Striped, 1e12, 5, 95)
+	if err != nil {
+		return -1
+	}
+	return plan.TotalDRAMBytes
+}

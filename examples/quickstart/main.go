@@ -1,0 +1,59 @@
+// Quickstart: plan a streaming server with and without a MEMS buffer and
+// check the buffered plan in simulation.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memstream"
+)
+
+func main() {
+	// 2,000 DivX-quality streams at 100KB/s on the paper's 2007 devices.
+	load := memstream.Load{Streams: 2000, BitRate: 100e3}
+	diskDev := memstream.FutureDisk()
+	memsDev := memstream.G3MEMS()
+
+	direct, err := memstream.PlanDirect(load, diskDev)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Direct disk→DRAM:\n")
+	fmt.Printf("  IO cycle          %v\n", direct.Cycle)
+	fmt.Printf("  per-stream buffer %.1f MB\n", direct.PerStreamBytes/1e6)
+	fmt.Printf("  total DRAM        %.2f GB\n", direct.TotalDRAMBytes/1e9)
+
+	buffered, err := memstream.PlanMEMSBuffer(load, diskDev, memsDev, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nWith a 2-device G3 MEMS buffer:\n")
+	fmt.Printf("  disk IO cycle     %v (staged IOs of %.1f MB)\n",
+		buffered.DiskCycle, buffered.DiskIOBytes/1e6)
+	fmt.Printf("  MEMS IO cycle     %v (M=%d disk transfers per cycle)\n",
+		buffered.MEMSCycle, buffered.M)
+	fmt.Printf("  total DRAM        %.3f GB (%.0fx less)\n",
+		buffered.TotalDRAMBytes/1e9, direct.TotalDRAMBytes/buffered.TotalDRAMBytes)
+
+	costs := memstream.DefaultCosts()
+	without, _ := memstream.BufferingCost(load, diskDev, costs)
+	with, _ := memstream.BufferedCost(load, diskDev, memsDev, 2, costs)
+	fmt.Printf("\nBuffering cost: $%.2f direct vs $%.2f buffered (%.0f%% saved)\n",
+		without, with, 100*(1-with/without))
+
+	// Validate the buffered plan end to end on the device simulators.
+	res, err := memstream.Simulate(memstream.SimConfig{
+		Architecture: memstream.BufferedServer,
+		Streams:      load.Streams,
+		BitRate:      load.BitRate,
+		MEMSDevices:  2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSimulation over %v: %d underflows, disk %.0f%% busy, MEMS %.0f%% busy\n",
+		res.SimulatedTime, res.Underflows, 100*res.DiskUtilization, 100*res.MEMSUtilization)
+}

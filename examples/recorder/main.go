@@ -1,0 +1,52 @@
+// recorder demonstrates the write-stream extension of §3.1: a mixed
+// population of players and recorders sharing one MEMS-buffered pipeline.
+// Recorded data flows DRAM → MEMS → disk, the reverse of playback, and the
+// example shows both directions meeting their requirements: zero playback
+// underflows and bounded recorder backlog.
+//
+//	go run ./examples/recorder [-streams 100] [-writers 30]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"memstream"
+)
+
+func main() {
+	streams := flag.Int("streams", 100, "total streams (players + recorders)")
+	writers := flag.Int("writers", 30, "how many of the streams are recorders")
+	bitRate := flag.Float64("bitrate", 1e6, "per-stream rate in bytes/s")
+	flag.Parse()
+	if *writers > *streams {
+		log.Fatal("recorder: more writers than streams")
+	}
+
+	fmt.Printf("Mixed workload on a 2-device G3 MEMS buffer: %d players + %d recorders at %.0fKB/s\n\n",
+		*streams-*writers, *writers, *bitRate/1e3)
+
+	res, err := memstream.Simulate(memstream.SimConfig{
+		Architecture: memstream.BufferedServer,
+		Streams:      *streams,
+		Writers:      *writers,
+		BitRate:      *bitRate,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("simulated time:        %v\n", res.SimulatedTime)
+	fmt.Printf("playback underflows:   %d (%.0f bytes missed)\n", res.Underflows, res.UnderflowBytes)
+	fmt.Printf("recorder peak backlog: %.2f MB of DRAM\n", res.WriterPeakDRAMBytes/1e6)
+	fmt.Printf("disk IOs:              %d (reads for players, writes for recorders)\n", res.DiskIOs)
+	fmt.Printf("MEMS IOs:              %d (every byte crosses the bank twice)\n", res.MEMSIOs)
+	fmt.Printf("disk / MEMS busy:      %.0f%% / %.0f%%\n",
+		100*res.DiskUtilization, 100*res.MEMSUtilization)
+
+	seconds := res.WriterPeakDRAMBytes / *bitRate
+	fmt.Printf("\nThe recorder backlog peaks at %.1f seconds of captured media — the\n", seconds)
+	fmt.Println("staging pipeline keeps up, so recording needs the same small DRAM")
+	fmt.Println("footprint playback does (§3.1's write-stream extension).")
+}

@@ -1,0 +1,125 @@
+package memstream
+
+import (
+	"time"
+
+	"memstream/internal/cache"
+	"memstream/internal/model"
+	"memstream/internal/units"
+)
+
+// GSSPlan sizes a server under Grouped Sweeping Scheduling (Yu, Chen &
+// Kandlur), the scheduler-level resource trade-off the paper's
+// introduction contrasts with adding MEMS hardware.
+type GSSPlan struct {
+	// Groups is the number of sweep groups g.
+	Groups int
+	// Cycle is the full service round; GroupSlot is one group's share.
+	Cycle     time.Duration
+	GroupSlot time.Duration
+	// PerStreamBytes includes the (1+1/g) GSS buffering factor.
+	PerStreamBytes float64
+	TotalDRAMBytes float64
+}
+
+func fromGSS(p model.GSSPlan) GSSPlan {
+	return GSSPlan{
+		Groups:         p.Groups,
+		Cycle:          p.Cycle,
+		GroupSlot:      p.GroupSlot,
+		PerStreamBytes: float64(p.PerStream),
+		TotalDRAMBytes: float64(p.TotalDRAM),
+	}
+}
+
+// PlanGSS sizes a GSS schedule with g groups on the given disk. The
+// device's minimum positioning cost (track switch + settle, used for the
+// in-sweep latency limit) is approximated as AvgLatency/3 when the caller
+// has nothing better; pass it explicitly via PlanGSSWithMin for precision.
+func PlanGSS(load Load, dsk StorageDevice, groups int) (GSSPlan, error) {
+	return PlanGSSWithMin(load, dsk, dsk.AvgLatency/3, groups)
+}
+
+// PlanGSSWithMin is PlanGSS with an explicit minimum per-IO latency.
+func PlanGSSWithMin(load Load, dsk StorageDevice, minLatency time.Duration, groups int) (GSSPlan, error) {
+	p, err := model.GSS(load.toModel(), dsk.diskSpec(), minLatency, groups)
+	if err != nil {
+		return GSSPlan{}, err
+	}
+	return fromGSS(p), nil
+}
+
+// OptimalGSSPlan searches all group counts for the DRAM-minimal GSS plan.
+func OptimalGSSPlan(load Load, dsk StorageDevice) (GSSPlan, error) {
+	p, err := model.OptimalGSS(load.toModel(), dsk.diskSpec(), dsk.AvgLatency/3)
+	if err != nil {
+		return GSSPlan{}, err
+	}
+	return fromGSS(p), nil
+}
+
+// HybridSplit is the paper's future-work configuration (§7): part of the
+// MEMS bank buffers disk IOs, the rest caches popular titles.
+type HybridSplit struct {
+	BufferBytes float64
+	CacheBytes  float64
+	Streams     int
+}
+
+// PlanHybridBank searches whole-device splits of a k-device bank between
+// buffering and (striped) caching, maximizing sustained streams under the
+// DRAM budget.
+func PlanHybridBank(k int, dsk, mem StorageDevice, bitRate, contentBytes, x, y,
+	dramBytes float64) (HybridSplit, error) {
+
+	split, err := cache.PlanHybrid(k, units.Bytes(mem.CapacityBytes),
+		dsk.diskSpec(), mem.memsSpec(), units.ByteRate(bitRate),
+		units.Bytes(contentBytes), x, y, units.Bytes(dramBytes))
+	if err != nil {
+		return HybridSplit{}, err
+	}
+	return HybridSplit{
+		BufferBytes: float64(split.BufferBytes),
+		CacheBytes:  float64(split.CacheBytes),
+		Streams:     split.Streams,
+	}, nil
+}
+
+// ClassCount is one component of a mixed stream population.
+type ClassCount struct {
+	Streams int
+	BitRate float64 // bytes per second
+}
+
+// MixedLoad folds a heterogeneous stream mix into the model's (N, B̄)
+// form. The paper's framework works with the average bit-rate (its B̄ is
+// defined as the average over the streams serviced), so mixes enter the
+// theorems through this reduction.
+func MixedLoad(classes ...ClassCount) Load {
+	var n int
+	var sum float64
+	for _, c := range classes {
+		if c.Streams <= 0 || c.BitRate <= 0 {
+			continue
+		}
+		n += c.Streams
+		sum += float64(c.Streams) * c.BitRate
+	}
+	if n == 0 {
+		return Load{}
+	}
+	return Load{Streams: n, BitRate: sum / float64(n)}
+}
+
+// EstimateBlocking returns the Erlang-B blocking probability when
+// offeredErlangs of session load (arrival rate x mean hold time) is
+// offered to a server admitting at most capacity concurrent streams.
+func EstimateBlocking(offeredErlangs float64, capacity int) (float64, error) {
+	return model.ErlangB(offeredErlangs, capacity)
+}
+
+// CapacityForBlocking returns the smallest admission capacity that keeps
+// Erlang-B blocking at or below target for the offered load.
+func CapacityForBlocking(offeredErlangs, target float64) (int, error) {
+	return model.ErlangCapacity(offeredErlangs, target)
+}

@@ -1,0 +1,206 @@
+package memstream
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPlanGSS(t *testing.T) {
+	load := Load{Streams: 200, BitRate: 1e5}
+	one, err := PlanGSS(load, FutureDisk(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := PlanGSS(load, FutureDisk(), load.Streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// g=1 sweeps everything: shortest cycle, 2x buffer factor.
+	if one.Cycle >= n.Cycle {
+		t.Errorf("g=1 cycle %v not below g=N cycle %v", one.Cycle, n.Cycle)
+	}
+	f1 := one.PerStreamBytes / (load.BitRate * one.Cycle.Seconds())
+	if math.Abs(f1-2) > 1e-9 {
+		t.Errorf("g=1 buffer factor = %v", f1)
+	}
+	if one.GroupSlot != one.Cycle {
+		t.Errorf("g=1 slot = %v, want full cycle", one.GroupSlot)
+	}
+	if _, err := PlanGSS(load, FutureDisk(), 0); err == nil {
+		t.Error("g=0 accepted")
+	}
+}
+
+func TestOptimalGSSPlan(t *testing.T) {
+	load := Load{Streams: 500, BitRate: 1e5}
+	best, err := OptimalGSSPlan(load, FutureDisk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []int{1, load.Streams} {
+		p, err := PlanGSS(load, FutureDisk(), g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best.TotalDRAMBytes > p.TotalDRAMBytes {
+			t.Errorf("optimal (g=%d) worse than g=%d", best.Groups, g)
+		}
+	}
+}
+
+func TestPlanHybridBank(t *testing.T) {
+	// Skewed popularity: caching should dominate the split.
+	split, err := PlanHybridBank(4, FutureDisk(), G3MEMS(), 1e4, 1e12, 1, 99, 2e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split.Streams <= 0 {
+		t.Fatal("no streams")
+	}
+	if split.CacheBytes < split.BufferBytes {
+		t.Errorf("1:99 split cache=%.0fGB buffer=%.0fGB, want cache-heavy",
+			split.CacheBytes/1e9, split.BufferBytes/1e9)
+	}
+	// Uniform popularity: buffering should dominate.
+	split, err = PlanHybridBank(4, FutureDisk(), G3MEMS(), 1e4, 1e12, 50, 50, 2e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split.BufferBytes < split.CacheBytes {
+		t.Errorf("50:50 split cache=%.0fGB buffer=%.0fGB, want buffer-heavy",
+			split.CacheBytes/1e9, split.BufferBytes/1e9)
+	}
+	if _, err := PlanHybridBank(0, FutureDisk(), G3MEMS(), 1e4, 1e12, 10, 90, 1e9); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestMixedLoad(t *testing.T) {
+	// 100 DVD + 900 DivX streams: B̄ = (100·1e6 + 900·1e5)/1000 = 190KB/s.
+	load := MixedLoad(
+		ClassCount{Streams: 100, BitRate: 1e6},
+		ClassCount{Streams: 900, BitRate: 1e5},
+	)
+	if load.Streams != 1000 {
+		t.Errorf("N = %d", load.Streams)
+	}
+	if math.Abs(load.BitRate-190e3) > 1e-6 {
+		t.Errorf("B̄ = %v, want 190KB/s", load.BitRate)
+	}
+	// Degenerate entries are ignored.
+	if l := MixedLoad(ClassCount{Streams: 0, BitRate: 1e6}); l.Streams != 0 {
+		t.Errorf("empty mix = %+v", l)
+	}
+	// A mixed load feeds straight into the planner.
+	if _, err := PlanDirect(load, FutureDisk()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulateExtensions(t *testing.T) {
+	// Write streams through the public API.
+	res, err := Simulate(SimConfig{
+		Architecture: BufferedServer,
+		Streams:      60,
+		Writers:      20,
+		BitRate:      1e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WriterPeakDRAMBytes <= 0 {
+		t.Error("no writer backlog recorded")
+	}
+	if res.Underflows != 0 {
+		t.Errorf("underflows = %d", res.Underflows)
+	}
+	// EDF through the public API.
+	edf, err := Simulate(SimConfig{
+		Architecture: DirectServer,
+		Streams:      30,
+		BitRate:      1e6,
+		UseEDF:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edf.Underflows != 0 || edf.DiskIOs == 0 {
+		t.Errorf("EDF sim: %+v", edf)
+	}
+	// VBR through the public API.
+	vbr, err := Simulate(SimConfig{
+		Architecture: DirectServer,
+		Streams:      30,
+		BitRate:      1e6,
+		VBRCoV:       0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vbr.Underflows != 0 {
+		t.Errorf("VBR sim underflows = %d", vbr.Underflows)
+	}
+}
+
+func TestSimulateHybrid(t *testing.T) {
+	res, err := Simulate(SimConfig{
+		Architecture: HybridServer,
+		Streams:      300,
+		BitRate:      1e5,
+		MEMSDevices:  4,
+		Titles:       400,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Underflows != 0 {
+		t.Errorf("hybrid underflows = %d", res.Underflows)
+	}
+	if res.FromCache == 0 || res.FromDisk == 0 {
+		t.Errorf("hybrid split %d/%d", res.FromCache, res.FromDisk)
+	}
+	if HybridServer.String() != "mems-hybrid" {
+		t.Error("architecture name wrong")
+	}
+}
+
+func TestBlockingHelpers(t *testing.T) {
+	b, err := EstimateBlocking(100, 100)
+	if err != nil || math.Abs(b-0.0757) > 5e-4 {
+		t.Fatalf("EstimateBlocking = %v, %v", b, err)
+	}
+	n, err := CapacityForBlocking(100, 0.01)
+	if err != nil || n < 110 || n > 125 {
+		t.Fatalf("CapacityForBlocking = %v, %v", n, err)
+	}
+	if _, err := EstimateBlocking(-1, 10); err == nil {
+		t.Error("negative load accepted")
+	}
+	if _, err := CapacityForBlocking(10, 2); err == nil {
+		t.Error("bad target accepted")
+	}
+}
+
+func TestSimulateInteractive(t *testing.T) {
+	res, err := Simulate(SimConfig{
+		Architecture:   DirectServer,
+		Streams:        50,
+		BitRate:        1e6,
+		PausedFraction: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Underflows != 0 {
+		t.Errorf("interactive sim underflows = %d", res.Underflows)
+	}
+	busy, err := Simulate(SimConfig{
+		Architecture: DirectServer, Streams: 50, BitRate: 1e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DiskIOs >= busy.DiskIOs {
+		t.Errorf("no bandwidth reclaimed: %d vs %d IOs", res.DiskIOs, busy.DiskIOs)
+	}
+}

@@ -1,0 +1,222 @@
+// Package bank manages a bank of k MEMS devices in the two roles the paper
+// defines (its §3.1.2 and §3.2): a disk buffer with stream-granularity
+// round-robin routing, and a content cache under striped or replicated
+// management.
+package bank
+
+import (
+	"fmt"
+	"time"
+
+	"memstream/internal/device"
+	"memstream/internal/mems"
+	"memstream/internal/units"
+)
+
+// New builds k identical MEMS devices from params.
+func New(k int, p mems.Params) ([]*mems.Device, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("bank: need at least one device, got %d", k)
+	}
+	devs := make([]*mems.Device, k)
+	for i := range devs {
+		d, err := mems.New(p)
+		if err != nil {
+			return nil, fmt.Errorf("bank: device %d: %w", i, err)
+		}
+		devs[i] = d
+	}
+	return devs, nil
+}
+
+// BufferBank is a k-device MEMS disk buffer. Stream data is never striped:
+// every disk IO lands wholly on one device, with streams assigned
+// round-robin so every k-th disk IO hits the same device (paper §3.1.2 —
+// striping would shrink disk-side IOs by k and hurt MEMS throughput).
+//
+// Each stream owns a two-slot staging ring on its device: the disk writes
+// one slot while the DRAM side drains the other, realizing the
+// double-buffering the capacity bound (Eq 7) accounts for.
+type BufferBank struct {
+	devs     []*mems.Device
+	slotSize units.Bytes
+	perDev   int // staging rings per device
+
+	assign map[int]int   // stream -> device index
+	ring   map[int]int64 // stream -> first block of its 2-slot ring
+	next   int           // round-robin cursor
+	counts []int         // streams per device
+}
+
+// NewBufferBank prepares a buffer bank whose staging rings hold slotSize
+// bytes per slot (the disk-side IO size, S_disk-mems).
+func NewBufferBank(devs []*mems.Device, slotSize units.Bytes) (*BufferBank, error) {
+	if len(devs) == 0 {
+		return nil, fmt.Errorf("bank: empty device list")
+	}
+	if slotSize <= 0 {
+		return nil, fmt.Errorf("bank: non-positive slot size %v", slotSize)
+	}
+	g := devs[0].Geometry()
+	slotBlocks := blocksFor(slotSize, g.BlockSize)
+	perDev := int(g.Blocks / (2 * slotBlocks))
+	if perDev < 1 {
+		return nil, fmt.Errorf("bank: slot size %v too large for device capacity %v",
+			slotSize, g.Capacity())
+	}
+	return &BufferBank{
+		devs:     devs,
+		slotSize: slotSize,
+		perDev:   perDev,
+		assign:   make(map[int]int),
+		ring:     make(map[int]int64),
+		counts:   make([]int, len(devs)),
+	}, nil
+}
+
+func blocksFor(b units.Bytes, blockSize units.Bytes) int64 {
+	n := int64(b / blockSize)
+	if units.Bytes(n)*blockSize < b {
+		n++
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// K returns the bank size.
+func (b *BufferBank) K() int { return len(b.devs) }
+
+// SlotSize returns the staging slot size.
+func (b *BufferBank) SlotSize() units.Bytes { return b.slotSize }
+
+// Device returns device i.
+func (b *BufferBank) Device(i int) *mems.Device { return b.devs[i] }
+
+// Attach assigns a stream to a device round-robin and reserves its staging
+// ring. It returns the device index.
+func (b *BufferBank) Attach(stream int) (int, error) {
+	if _, dup := b.assign[stream]; dup {
+		return 0, fmt.Errorf("bank: stream %d already attached", stream)
+	}
+	dev := b.next % len(b.devs)
+	if b.counts[dev] >= b.perDev {
+		// Find any device with a free ring before giving up.
+		found := false
+		for i := range b.devs {
+			if b.counts[i] < b.perDev {
+				dev, found = i, true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("bank: staging capacity exhausted (%d rings/device)", b.perDev)
+		}
+	}
+	g := b.devs[dev].Geometry()
+	slotBlocks := blocksFor(b.slotSize, g.BlockSize)
+	b.assign[stream] = dev
+	b.ring[stream] = int64(b.counts[dev]) * 2 * slotBlocks
+	b.counts[dev]++
+	b.next++
+	return dev, nil
+}
+
+// Detach releases a stream. Its ring is not reused (simulations attach
+// once); spare-capacity accounting still reflects the release.
+func (b *BufferBank) Detach(stream int) {
+	if dev, ok := b.assign[stream]; ok {
+		b.counts[dev]--
+		delete(b.assign, stream)
+		delete(b.ring, stream)
+	}
+}
+
+// DeviceOf returns the device index a stream is attached to.
+func (b *BufferBank) DeviceOf(stream int) (int, bool) {
+	d, ok := b.assign[stream]
+	return d, ok
+}
+
+// StageRequest builds the MEMS write request that stages bytes arriving
+// from the disk for a stream, alternating between the ring's two slots by
+// cycle parity.
+func (b *BufferBank) StageRequest(stream int, cycle int64, size units.Bytes) (device.Request, int, error) {
+	dev, ok := b.assign[stream]
+	if !ok {
+		return device.Request{}, 0, fmt.Errorf("bank: stream %d not attached", stream)
+	}
+	g := b.devs[dev].Geometry()
+	slotBlocks := blocksFor(b.slotSize, g.BlockSize)
+	base := b.ring[stream] + (cycle%2)*slotBlocks
+	n := blocksFor(size, g.BlockSize)
+	if n > slotBlocks {
+		n = slotBlocks
+	}
+	return device.Request{Op: device.Write, Block: base, Blocks: n, Stream: stream}, dev, nil
+}
+
+// DrainRequest builds the MEMS read request that moves a stream's staged
+// data toward DRAM, reading from the slot the disk filled in the previous
+// cycle.
+func (b *BufferBank) DrainRequest(stream int, cycle int64, size units.Bytes) (device.Request, int, error) {
+	r, dev, err := b.StageRequest(stream, cycle+1, size) // opposite parity slot
+	if err != nil {
+		return device.Request{}, 0, err
+	}
+	r.Op = device.Read
+	return r, dev, nil
+}
+
+// SpareStorage returns unreserved bytes across the bank — available for
+// the non-real-time uses the paper lists (§3.1.2: persistent write buffer,
+// prefetch buffer, or caching whole streams).
+func (b *BufferBank) SpareStorage() units.Bytes {
+	var spare units.Bytes
+	g := b.devs[0].Geometry()
+	slotBlocks := blocksFor(b.slotSize, g.BlockSize)
+	for _, c := range b.counts {
+		freeRings := b.perDev - c
+		spare += units.Bytes(int64(freeRings)*2*slotBlocks) * g.BlockSize
+	}
+	return spare
+}
+
+// SpareBandwidth estimates unused bank bandwidth given the attached
+// streams' aggregate bit-rate: the bank moves each byte twice, so spare =
+// k·R − 2·ΣB̄.
+func (b *BufferBank) SpareBandwidth(aggregate units.ByteRate) units.ByteRate {
+	total := float64(len(b.devs)) * float64(b.devs[0].Params().Rate)
+	spare := total - 2*float64(aggregate)
+	if spare < 0 {
+		spare = 0
+	}
+	return units.ByteRate(spare)
+}
+
+// Balance reports the min and max streams per device; round-robin keeps
+// max−min ≤ 1.
+func (b *BufferBank) Balance() (minStreams, maxStreams int) {
+	if len(b.counts) == 0 {
+		return 0, 0
+	}
+	minStreams, maxStreams = b.counts[0], b.counts[0]
+	for _, c := range b.counts[1:] {
+		if c < minStreams {
+			minStreams = c
+		}
+		if c > maxStreams {
+			maxStreams = c
+		}
+	}
+	return minStreams, maxStreams
+}
+
+// ServiceOn runs one request on the bank device dev at time now.
+func (b *BufferBank) ServiceOn(dev int, now time.Duration, r device.Request) (device.Completion, error) {
+	if dev < 0 || dev >= len(b.devs) {
+		return device.Completion{}, fmt.Errorf("bank: device %d out of range", dev)
+	}
+	return b.devs[dev].Service(now, r)
+}

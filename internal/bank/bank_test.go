@@ -1,0 +1,380 @@
+package bank
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"memstream/internal/device"
+	"memstream/internal/mems"
+	"memstream/internal/units"
+)
+
+func devs(t *testing.T, k int) []*mems.Device {
+	t.Helper()
+	ds, err := New(k, mems.G3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(0, mems.G3()); err == nil {
+		t.Error("k=0 accepted")
+	}
+	bad := mems.G3()
+	bad.Capacity = 0
+	if _, err := New(1, bad); err == nil {
+		t.Error("invalid params accepted")
+	}
+	ds := devs(t, 3)
+	if len(ds) != 3 {
+		t.Fatalf("got %d devices", len(ds))
+	}
+}
+
+func TestBufferBankRoundRobin(t *testing.T) {
+	b, err := NewBufferBank(devs(t, 3), 10*units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Streams go to devices 0,1,2,0,1,2,... (paper §3.1.2: every k-th disk
+	// IO is routed to the same MEMS device).
+	for i := 0; i < 9; i++ {
+		dev, err := b.Attach(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dev != i%3 {
+			t.Errorf("stream %d on device %d, want %d", i, dev, i%3)
+		}
+	}
+	lo, hi := b.Balance()
+	if lo != 3 || hi != 3 {
+		t.Errorf("balance = %d..%d, want 3..3", lo, hi)
+	}
+}
+
+func TestBufferBankDuplicateAttach(t *testing.T) {
+	b, _ := NewBufferBank(devs(t, 2), 1*units.MB)
+	if _, err := b.Attach(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Attach(1); err == nil {
+		t.Error("duplicate attach accepted")
+	}
+}
+
+func TestBufferBankDetach(t *testing.T) {
+	b, _ := NewBufferBank(devs(t, 2), 1*units.MB)
+	if _, err := b.Attach(1); err != nil {
+		t.Fatal(err)
+	}
+	b.Detach(1)
+	if _, ok := b.DeviceOf(1); ok {
+		t.Error("stream still attached after detach")
+	}
+	lo, hi := b.Balance()
+	if lo != 0 || hi != 0 {
+		t.Errorf("balance after detach = %d..%d", lo, hi)
+	}
+	b.Detach(99) // detaching an unknown stream is a no-op
+}
+
+func TestBufferBankValidation(t *testing.T) {
+	if _, err := NewBufferBank(nil, 1*units.MB); err == nil {
+		t.Error("empty device list accepted")
+	}
+	if _, err := NewBufferBank(devs(t, 1), 0); err == nil {
+		t.Error("zero slot size accepted")
+	}
+	if _, err := NewBufferBank(devs(t, 1), 20*units.GB); err == nil {
+		t.Error("slot larger than device accepted")
+	}
+}
+
+func TestStagingRingsDisjoint(t *testing.T) {
+	slot := 50 * units.MB
+	b, _ := NewBufferBank(devs(t, 2), slot)
+	type span struct{ lo, hi int64 }
+	spans := map[int][]span{} // device -> spans
+	for i := 0; i < 20; i++ {
+		dev, err := b.Attach(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cyc := int64(0); cyc < 2; cyc++ {
+			r, rdev, err := b.StageRequest(i, cyc, slot)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rdev != dev {
+				t.Fatalf("stage device %d != attach device %d", rdev, dev)
+			}
+			for _, s := range spans[dev] {
+				if r.Block < s.hi && r.Block+r.Blocks > s.lo {
+					t.Fatalf("stream %d cycle %d overlaps span [%d,%d)", i, cyc, s.lo, s.hi)
+				}
+			}
+			spans[dev] = append(spans[dev], span{r.Block, r.Block + r.Blocks})
+		}
+	}
+}
+
+func TestStageDrainAlternateSlots(t *testing.T) {
+	b, _ := NewBufferBank(devs(t, 1), 10*units.MB)
+	if _, err := b.Attach(0); err != nil {
+		t.Fatal(err)
+	}
+	w0, _, err := b.StageRequest(0, 0, 10*units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _, err := b.DrainRequest(0, 1, 10*units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cycle 1's drain reads the slot cycle 0's stage wrote.
+	if w0.Block != r1.Block {
+		t.Errorf("drain(1) reads block %d, stage(0) wrote %d", r1.Block, w0.Block)
+	}
+	if r1.Op != device.Read || w0.Op != device.Write {
+		t.Error("ops wrong")
+	}
+	// Same-cycle stage and drain must use different slots.
+	r0, _, _ := b.DrainRequest(0, 0, 10*units.MB)
+	if r0.Block == w0.Block {
+		t.Error("same-cycle stage and drain collide")
+	}
+}
+
+func TestStageRequestUnattached(t *testing.T) {
+	b, _ := NewBufferBank(devs(t, 1), 1*units.MB)
+	if _, _, err := b.StageRequest(5, 0, units.MB); err == nil {
+		t.Error("unattached stage accepted")
+	}
+	if _, _, err := b.DrainRequest(5, 0, units.MB); err == nil {
+		t.Error("unattached drain accepted")
+	}
+}
+
+func TestSpareStorageShrinksWithStreams(t *testing.T) {
+	b, _ := NewBufferBank(devs(t, 2), 100*units.MB)
+	before := b.SpareStorage()
+	for i := 0; i < 4; i++ {
+		if _, err := b.Attach(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := b.SpareStorage()
+	want := before - 4*2*100*units.MB
+	if diff := float64(after - want); diff > 1e7 || diff < -1e7 {
+		t.Errorf("spare = %v, want ≈%v", after, want)
+	}
+}
+
+func TestSpareBandwidth(t *testing.T) {
+	b, _ := NewBufferBank(devs(t, 2), 1*units.MB)
+	// 2 G3 devices: 640MB/s total; 100MB/s of streams needs 200MB/s.
+	got := b.SpareBandwidth(100 * units.MBPS)
+	if got != 440*units.MBPS {
+		t.Errorf("spare bandwidth = %v, want 440MB/s", got)
+	}
+	if got := b.SpareBandwidth(400 * units.MBPS); got != 0 {
+		t.Errorf("overloaded spare = %v, want 0", got)
+	}
+}
+
+func TestServiceOn(t *testing.T) {
+	b, _ := NewBufferBank(devs(t, 2), 1*units.MB)
+	if _, err := b.Attach(0); err != nil {
+		t.Fatal(err)
+	}
+	r, dev, _ := b.StageRequest(0, 0, units.MB)
+	c, err := b.ServiceOn(dev, 0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Finish <= 0 {
+		t.Error("no service time")
+	}
+	if _, err := b.ServiceOn(9, 0, r); err == nil {
+		t.Error("out-of-range device accepted")
+	}
+}
+
+// Property: round-robin attachment keeps the bank balanced within one
+// stream for any attach count.
+func TestRoundRobinBalanceProperty(t *testing.T) {
+	f := func(n uint8, kk uint8) bool {
+		k := int(kk%7) + 1
+		b, err := NewBufferBank(devsQuick(k), 100*units.MB)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < int(n); i++ {
+			if _, err := b.Attach(i); err != nil {
+				return true // staging exhaustion is fine
+			}
+		}
+		lo, hi := b.Balance()
+		return hi-lo <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func devsQuick(k int) []*mems.Device {
+	ds, err := New(k, mems.G3())
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+func TestStripedBankLockStep(t *testing.T) {
+	sb, err := NewStripedBank(devs(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.K() != 4 {
+		t.Errorf("K = %d", sb.K())
+	}
+	if got := sb.Capacity(); got < 39*units.GB {
+		t.Errorf("capacity = %v, want ≈40GB", got)
+	}
+	if err := sb.Assign(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.Assign(0); err == nil {
+		t.Error("duplicate assign accepted")
+	}
+	// A 4MB striped read moves 1MB per device; it should complete in about
+	// the time a single device needs for 1MB plus one seek.
+	c, err := sb.Read(0, 0, 0, 8192) // 4MiB in 512B blocks
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := (units.Bytes(2048) * 512).Duration(320 * units.MBPS)
+	if c.Finish < single || c.Finish > single+2*time.Millisecond {
+		t.Errorf("striped read took %v, want ≈%v", c.Finish, single)
+	}
+	if sb.SeeksPerCycle(10) != 40 {
+		t.Errorf("seeks = %d, want k·n = 40", sb.SeeksPerCycle(10))
+	}
+}
+
+func TestReplicatedBankAssignment(t *testing.T) {
+	rb, err := NewReplicatedBank(devs(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.K() != 3 {
+		t.Errorf("K = %d", rb.K())
+	}
+	if got := rb.Capacity(); got > 11*units.GB {
+		t.Errorf("capacity = %v, want one copy (≈10GB)", got)
+	}
+	for i := 0; i < 9; i++ {
+		if err := rb.Assign(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lo, hi := rb.Balance()
+	if hi-lo > 1 {
+		t.Errorf("balance = %d..%d", lo, hi)
+	}
+	if err := rb.Assign(0); err == nil {
+		t.Error("duplicate assign accepted")
+	}
+	// Reads land on the pinned replica.
+	dev, ok := rb.DeviceOf(4)
+	if !ok {
+		t.Fatal("stream 4 unassigned")
+	}
+	before := rb.devs[dev].Served()
+	if _, err := rb.Read(0, 4, 0, 1024); err != nil {
+		t.Fatal(err)
+	}
+	if rb.devs[dev].Served() != before+1 {
+		t.Error("read did not hit the pinned replica")
+	}
+	if rb.SeeksPerCycle(10) != 10 {
+		t.Errorf("seeks = %d, want n = 10", rb.SeeksPerCycle(10))
+	}
+}
+
+func TestReplicatedReadUnassigned(t *testing.T) {
+	rb, _ := NewReplicatedBank(devs(t, 2))
+	if _, err := rb.Read(0, 99, 0, 8); err == nil {
+		t.Error("unassigned read accepted")
+	}
+}
+
+func TestCacheBankConstructorsReject(t *testing.T) {
+	if _, err := NewStripedBank(nil); err == nil {
+		t.Error("empty striped accepted")
+	}
+	if _, err := NewReplicatedBank(nil); err == nil {
+		t.Error("empty replicated accepted")
+	}
+}
+
+// Property: replicated assignment is always balanced within one stream.
+func TestReplicatedBalanceProperty(t *testing.T) {
+	f := func(n uint8, kk uint8) bool {
+		k := int(kk%7) + 1
+		rb, err := NewReplicatedBank(devsQuick(k))
+		if err != nil {
+			return false
+		}
+		for i := 0; i < int(n); i++ {
+			if err := rb.Assign(i); err != nil {
+				return false
+			}
+		}
+		if n == 0 {
+			return true
+		}
+		lo, hi := rb.Balance()
+		return hi-lo <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBufferBankAccessors(t *testing.T) {
+	b, _ := NewBufferBank(devs(t, 3), 5*units.MB)
+	if b.K() != 3 {
+		t.Errorf("K = %d", b.K())
+	}
+	if b.SlotSize() != 5*units.MB {
+		t.Errorf("SlotSize = %v", b.SlotSize())
+	}
+	if b.Device(1) == nil {
+		t.Error("Device(1) nil")
+	}
+}
+
+func TestReplicatedReadClampsToReplica(t *testing.T) {
+	rb, _ := NewReplicatedBank(devs(t, 2))
+	if err := rb.Assign(0); err != nil {
+		t.Fatal(err)
+	}
+	blocks := rb.devs[0].Geometry().Blocks
+	// A read at the very end clamps back into range.
+	c, err := rb.Read(0, 0, blocks-1, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Block+c.Blocks > blocks {
+		t.Errorf("read [%d,%d) escaped replica of %d", c.Block, c.Block+c.Blocks, blocks)
+	}
+	// A request bigger than the replica fails.
+	if _, err := rb.Read(0, 0, 0, blocks+1); err == nil {
+		t.Error("oversized read accepted")
+	}
+}

@@ -1,0 +1,187 @@
+package bank
+
+import (
+	"fmt"
+	"time"
+
+	"memstream/internal/device"
+	"memstream/internal/mems"
+	"memstream/internal/units"
+)
+
+// CacheBank is a k-device MEMS content cache under one of the paper's two
+// management policies (§3.2).
+type CacheBank interface {
+	// K returns the bank size.
+	K() int
+	// Capacity returns the distinct content the bank can hold.
+	Capacity() units.Bytes
+	// Assign binds a stream to the bank and returns an opaque handle the
+	// caller passes to Read.
+	Assign(stream int) error
+	// Read services one cached IO for the stream at time now and returns
+	// when the data is fully available. Block addresses are relative to
+	// the cached content image.
+	Read(now time.Duration, stream int, block, blocks int64) (device.Completion, error)
+	// SeeksPerCycle returns how many device seek operations one IO cycle
+	// of n streams costs across the bank (k·n striped, n replicated —
+	// paper §3.2.1/3.2.2).
+	SeeksPerCycle(n int) int
+}
+
+// StripedBank stripes every title bit/byte-wise across all k devices,
+// accessed in lock-step: every device performs the same relative access
+// for every IO. Effective rate k·R, latency unchanged, capacity k·Size.
+type StripedBank struct {
+	devs    []*mems.Device
+	streams map[int]bool
+}
+
+// NewStripedBank wraps devs in lock-step striping.
+func NewStripedBank(devs []*mems.Device) (*StripedBank, error) {
+	if len(devs) == 0 {
+		return nil, fmt.Errorf("bank: empty device list")
+	}
+	return &StripedBank{devs: devs, streams: make(map[int]bool)}, nil
+}
+
+// K returns the bank size.
+func (s *StripedBank) K() int { return len(s.devs) }
+
+// Capacity pools all devices.
+func (s *StripedBank) Capacity() units.Bytes {
+	return s.devs[0].Geometry().Capacity().Mul(float64(len(s.devs)))
+}
+
+// Assign registers a stream; striping needs no placement decision.
+func (s *StripedBank) Assign(stream int) error {
+	if s.streams[stream] {
+		return fmt.Errorf("bank: stream %d already assigned", stream)
+	}
+	s.streams[stream] = true
+	return nil
+}
+
+// Read performs the lock-step access: every device reads blocks/k at the
+// same relative location; the IO completes when the slowest device
+// finishes. Since the devices start aligned and perform identical seeks,
+// the completion equals a single-device access at 1/k the size.
+func (s *StripedBank) Read(now time.Duration, stream int, block, blocks int64) (device.Completion, error) {
+	per := blocks / int64(len(s.devs))
+	if per < 1 {
+		per = 1
+	}
+	rel := block / int64(len(s.devs))
+	g := s.devs[0].Geometry()
+	if rel+per > g.Blocks {
+		rel = g.Blocks - per
+	}
+	var last device.Completion
+	for i, d := range s.devs {
+		c, err := d.Service(now, device.Request{
+			Op: device.Read, Block: rel, Blocks: per, Stream: stream,
+		})
+		if err != nil {
+			return device.Completion{}, fmt.Errorf("bank: striped read on device %d: %w", i, err)
+		}
+		if i == 0 || c.Finish > last.Finish {
+			last = c
+		}
+	}
+	return last, nil
+}
+
+// SeeksPerCycle: all k devices seek for every one of the n IOs.
+func (s *StripedBank) SeeksPerCycle(n int) int { return len(s.devs) * n }
+
+// ReplicatedBank stores the full cached image on every device; each stream
+// is pinned to one device, chosen least-loaded, and ⌈n/k⌉ streams share a
+// device. Effective rate k·R, effective latency L̄/k, capacity Size.
+type ReplicatedBank struct {
+	devs   []*mems.Device
+	assign map[int]int
+	counts []int
+}
+
+// NewReplicatedBank wraps devs in full replication.
+func NewReplicatedBank(devs []*mems.Device) (*ReplicatedBank, error) {
+	if len(devs) == 0 {
+		return nil, fmt.Errorf("bank: empty device list")
+	}
+	return &ReplicatedBank{
+		devs:   devs,
+		assign: make(map[int]int),
+		counts: make([]int, len(devs)),
+	}, nil
+}
+
+// K returns the bank size.
+func (r *ReplicatedBank) K() int { return len(r.devs) }
+
+// Capacity is a single copy's worth.
+func (r *ReplicatedBank) Capacity() units.Bytes {
+	return r.devs[0].Geometry().Capacity()
+}
+
+// Assign pins the stream to the least-loaded device.
+func (r *ReplicatedBank) Assign(stream int) error {
+	if _, dup := r.assign[stream]; dup {
+		return fmt.Errorf("bank: stream %d already assigned", stream)
+	}
+	best := 0
+	for i, c := range r.counts {
+		if c < r.counts[best] {
+			best = i
+		}
+	}
+	r.assign[stream] = best
+	r.counts[best]++
+	return nil
+}
+
+// DeviceOf returns the device a stream reads from.
+func (r *ReplicatedBank) DeviceOf(stream int) (int, bool) {
+	d, ok := r.assign[stream]
+	return d, ok
+}
+
+// Read services the IO on the stream's pinned replica.
+func (r *ReplicatedBank) Read(now time.Duration, stream int, block, blocks int64) (device.Completion, error) {
+	dev, ok := r.assign[stream]
+	if !ok {
+		return device.Completion{}, fmt.Errorf("bank: stream %d not assigned", stream)
+	}
+	g := r.devs[dev].Geometry()
+	if block+blocks > g.Blocks {
+		block = g.Blocks - blocks
+		if block < 0 {
+			return device.Completion{}, fmt.Errorf("bank: request larger than replica")
+		}
+	}
+	return r.devs[dev].Service(now, device.Request{
+		Op: device.Read, Block: block, Blocks: blocks, Stream: stream,
+	})
+}
+
+// SeeksPerCycle: each of the n IOs seeks on exactly one device.
+func (r *ReplicatedBank) SeeksPerCycle(n int) int { return n }
+
+// Balance reports min/max streams per device; least-loaded assignment
+// keeps max−min ≤ 1.
+func (r *ReplicatedBank) Balance() (minStreams, maxStreams int) {
+	minStreams, maxStreams = r.counts[0], r.counts[0]
+	for _, c := range r.counts[1:] {
+		if c < minStreams {
+			minStreams = c
+		}
+		if c > maxStreams {
+			maxStreams = c
+		}
+	}
+	return minStreams, maxStreams
+}
+
+var (
+	_ CacheBank = (*StripedBank)(nil)
+	_ CacheBank = (*ReplicatedBank)(nil)
+)

@@ -1,0 +1,88 @@
+package cache
+
+import (
+	"container/list"
+	"fmt"
+
+	"memstream/internal/units"
+)
+
+// LRU is a byte-capacity least-recently-used cache over title IDs. The
+// paper notes traditional caching (Smith's survey) suits best-effort data
+// with temporal locality — streaming data has none, so LRU serves as the
+// baseline that popularity-pinned placement is compared against.
+type LRU struct {
+	capacity units.Bytes
+	used     units.Bytes
+	order    *list.List // front = most recent
+	items    map[int]*list.Element
+
+	Hits, Misses uint64
+}
+
+type lruEntry struct {
+	id   int
+	size units.Bytes
+}
+
+// NewLRU creates an LRU cache with the given byte capacity.
+func NewLRU(capacity units.Bytes) (*LRU, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("cache: non-positive LRU capacity %v", capacity)
+	}
+	return &LRU{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[int]*list.Element),
+	}, nil
+}
+
+// Access touches a title of the given size: a hit refreshes recency; a
+// miss inserts the title, evicting least-recently-used titles to fit.
+// It reports whether the access hit. Titles larger than the cache are
+// never inserted.
+func (c *LRU) Access(id int, size units.Bytes) bool {
+	if e, ok := c.items[id]; ok {
+		c.order.MoveToFront(e)
+		c.Hits++
+		return true
+	}
+	c.Misses++
+	if size > c.capacity || size <= 0 {
+		return false
+	}
+	for c.used+size > c.capacity {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(lruEntry)
+		c.order.Remove(back)
+		delete(c.items, ent.id)
+		c.used -= ent.size
+	}
+	c.items[id] = c.order.PushFront(lruEntry{id: id, size: size})
+	c.used += size
+	return false
+}
+
+// Contains reports whether a title is resident without touching recency.
+func (c *LRU) Contains(id int) bool {
+	_, ok := c.items[id]
+	return ok
+}
+
+// Used returns resident bytes.
+func (c *LRU) Used() units.Bytes { return c.used }
+
+// Len returns resident title count.
+func (c *LRU) Len() int { return len(c.items) }
+
+// HitRatio returns hits/(hits+misses), 0 before any access.
+func (c *LRU) HitRatio() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}

@@ -1,0 +1,122 @@
+// Package device defines the common vocabulary shared by the disk and MEMS
+// models: IO requests, service-time statistics, and the effective-throughput
+// relation (paper Figure 2) that motivates buffering in the first place.
+package device
+
+import (
+	"fmt"
+	"time"
+
+	"memstream/internal/units"
+)
+
+// Op distinguishes reads from writes.
+type Op uint8
+
+// Request operations.
+const (
+	Read Op = iota
+	Write
+)
+
+// String names the operation.
+func (o Op) String() string {
+	if o == Write {
+		return "write"
+	}
+	return "read"
+}
+
+// Request is one IO against a block device.
+type Request struct {
+	Op     Op
+	Block  int64         // starting logical block
+	Blocks int64         // length in logical blocks
+	Stream int           // owning stream id, -1 for none
+	Issued time.Duration // simulation time the request was issued
+}
+
+// Completion reports how one request was serviced.
+type Completion struct {
+	Request
+	Start      time.Duration // service start (simulated)
+	Finish     time.Duration // service end (simulated)
+	Position   time.Duration // positioning (seek + settle/rotation) portion
+	Transfer   time.Duration // media transfer portion
+	QueueDelay time.Duration // time spent waiting in the device queue
+}
+
+// ServiceTime returns positioning plus transfer time.
+func (c Completion) ServiceTime() time.Duration { return c.Finish - c.Start }
+
+// Geometry describes a block device's addressable space.
+type Geometry struct {
+	BlockSize units.Bytes // bytes per logical block
+	Blocks    int64       // total logical blocks
+}
+
+// Capacity returns the device's total byte capacity.
+func (g Geometry) Capacity() units.Bytes {
+	return g.BlockSize * units.Bytes(g.Blocks)
+}
+
+// Validate checks a request against the geometry.
+func (g Geometry) Validate(r Request) error {
+	if r.Blocks <= 0 {
+		return fmt.Errorf("device: request has %d blocks", r.Blocks)
+	}
+	if r.Block < 0 || r.Block+r.Blocks > g.Blocks {
+		return fmt.Errorf("device: request [%d,%d) outside device of %d blocks",
+			r.Block, r.Block+r.Blocks, g.Blocks)
+	}
+	return nil
+}
+
+// Model is the static performance description every device exposes. The
+// analytical framework needs only these three numbers per device; the
+// simulators produce them as emergent behaviour.
+type Model struct {
+	Name       string
+	Rate       units.ByteRate // media transfer rate R_d
+	AvgLatency time.Duration  // average positioning overhead L̄_d
+	MaxLatency time.Duration  // worst-case positioning overhead
+	Capacity   units.Bytes
+	CostPerGB  units.Dollars
+	CostPerDev units.Dollars // per-device entry cost (paper Eq 2 price model)
+}
+
+// EffectiveThroughput returns the sustained throughput when the device is
+// accessed in IOs of the given size, paying latency lat per IO:
+//
+//	T_eff(S) = S / (lat + S/R)
+//
+// This is the relation plotted in the paper's Figure 2.
+func EffectiveThroughput(io units.Bytes, rate units.ByteRate, lat time.Duration) units.ByteRate {
+	if io <= 0 {
+		return 0
+	}
+	total := lat.Seconds() + io.Seconds(rate)
+	if total <= 0 {
+		return rate
+	}
+	return units.ByteRate(float64(io) / total)
+}
+
+// IOSizeFor inverts EffectiveThroughput: the IO size needed to sustain
+// throughput target on a device with the given rate and per-IO latency.
+// It returns 0 if the target is not achievable (target >= rate).
+func IOSizeFor(target, rate units.ByteRate, lat time.Duration) units.Bytes {
+	if target <= 0 || target >= rate {
+		return 0
+	}
+	// S/(lat + S/R) = t  =>  S = t*lat / (1 - t/R)
+	return units.Bytes(float64(target) * lat.Seconds() / (1 - float64(target)/float64(rate)))
+}
+
+// Utilization is the fraction of peak media rate delivered at IO size io.
+func Utilization(io units.Bytes, rate units.ByteRate, lat time.Duration) float64 {
+	if rate <= 0 {
+		return 0
+	}
+	return float64(EffectiveThroughput(io, rate, lat)) / float64(rate)
+}

@@ -1,0 +1,127 @@
+package disk
+
+import (
+	"fmt"
+	"time"
+
+	"memstream/internal/device"
+)
+
+// Policy selects the order in which queued requests are serviced.
+type Policy uint8
+
+// Scheduling policies.
+const (
+	// FCFS services requests in arrival order.
+	FCFS Policy = iota
+	// SSTF services the request with the shortest seek from the current
+	// cylinder.
+	SSTF
+	// CLook sweeps cylinders in one direction, then jumps back to the
+	// lowest pending cylinder (the elevator variant most drives use; the
+	// paper's disk IO scheduler "uses elevator scheduling to optimize for
+	// disk utilization").
+	CLook
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case FCFS:
+		return "fcfs"
+	case SSTF:
+		return "sstf"
+	case CLook:
+		return "c-look"
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// Scheduler orders pending requests for a disk Device.
+type Scheduler struct {
+	dev    *Device
+	policy Policy
+	queue  []device.Request
+}
+
+// NewScheduler wraps dev with the given policy.
+func NewScheduler(dev *Device, policy Policy) *Scheduler {
+	return &Scheduler{dev: dev, policy: policy}
+}
+
+// Enqueue adds a request to the pending queue.
+func (s *Scheduler) Enqueue(r device.Request) { s.queue = append(s.queue, r) }
+
+// Len reports the number of pending requests.
+func (s *Scheduler) Len() int { return len(s.queue) }
+
+func (s *Scheduler) pick() int {
+	switch s.policy {
+	case SSTF:
+		cur := s.dev.cyl
+		best, bestD := 0, int(^uint(0)>>1)
+		for i, r := range s.queue {
+			d := s.dev.Cylinder(r.Block) - cur
+			if d < 0 {
+				d = -d
+			}
+			if d < bestD {
+				best, bestD = i, d
+			}
+		}
+		return best
+	case CLook:
+		cur := s.dev.cyl
+		best, bestD := -1, int(^uint(0)>>1)
+		lowest, lowestCyl := 0, int(^uint(0)>>1)
+		for i, r := range s.queue {
+			c := s.dev.Cylinder(r.Block)
+			if c < lowestCyl {
+				lowest, lowestCyl = i, c
+			}
+			if d := c - cur; d >= 0 && d < bestD {
+				best, bestD = i, d
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+		return lowest // wrap the sweep
+	default:
+		return 0
+	}
+}
+
+// Dispatch services the next request per the policy, starting at now.
+func (s *Scheduler) Dispatch(now time.Duration) (device.Completion, bool, error) {
+	if len(s.queue) == 0 {
+		return device.Completion{}, false, nil
+	}
+	i := s.pick()
+	r := s.queue[i]
+	s.queue = append(s.queue[:i], s.queue[i+1:]...)
+	c, err := s.dev.Service(now, r)
+	if err != nil {
+		return device.Completion{}, false, err
+	}
+	c.QueueDelay = now - r.Issued
+	return c, true, nil
+}
+
+// DrainAll services every queued request back-to-back starting at now.
+func (s *Scheduler) DrainAll(now time.Duration) ([]device.Completion, error) {
+	var out []device.Completion
+	t := now
+	for len(s.queue) > 0 {
+		c, ok, err := s.Dispatch(t)
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, c)
+		t = c.Finish
+	}
+	return out, nil
+}

@@ -1,0 +1,131 @@
+// Package dram models the server's main-memory buffer pool. Streaming
+// servers do not cache in DRAM — data flows through per-stream rings that
+// are filled by device IO once per cycle and drained continuously by
+// playback. What matters is accounting: how many bytes each stream holds,
+// whether any stream underflows, and the pool-wide high-water mark that
+// determines how much DRAM the configuration actually needs.
+package dram
+
+import (
+	"fmt"
+	"time"
+
+	"memstream/internal/units"
+)
+
+// Pool is a byte-granular DRAM buffer pool shared by all streams.
+type Pool struct {
+	capacity  units.Bytes
+	used      units.Bytes
+	highWater units.Bytes
+	streams   map[int]*StreamBuffer
+}
+
+// NewPool creates a pool of the given capacity. A zero capacity means
+// unlimited (used by the model-exploration experiments before sizing).
+func NewPool(capacity units.Bytes) *Pool {
+	return &Pool{capacity: capacity, streams: make(map[int]*StreamBuffer)}
+}
+
+// Capacity returns the configured capacity (0 = unlimited).
+func (p *Pool) Capacity() units.Bytes { return p.capacity }
+
+// Used returns current total occupancy.
+func (p *Pool) Used() units.Bytes { return p.used }
+
+// HighWater returns the maximum occupancy observed.
+func (p *Pool) HighWater() units.Bytes { return p.highWater }
+
+// ErrExhausted reports an allocation beyond pool capacity.
+var ErrExhausted = fmt.Errorf("dram: pool exhausted")
+
+// StreamBuffer tracks one stream's staged data in DRAM.
+type StreamBuffer struct {
+	pool    *Pool
+	id      int
+	rate    units.ByteRate // playback drain rate
+	level   units.Bytes    // bytes currently buffered
+	drained time.Duration  // playback position (time drained so far)
+
+	// Underflows counts drain attempts that found the buffer empty.
+	Underflows int
+	// Filled accumulates all bytes ever written into the buffer.
+	Filled units.Bytes
+}
+
+// Open registers a stream draining at rate. The id must be unique.
+func (p *Pool) Open(id int, rate units.ByteRate) (*StreamBuffer, error) {
+	if _, dup := p.streams[id]; dup {
+		return nil, fmt.Errorf("dram: stream %d already open", id)
+	}
+	if rate <= 0 {
+		return nil, fmt.Errorf("dram: stream %d has non-positive rate", id)
+	}
+	sb := &StreamBuffer{pool: p, id: id, rate: rate}
+	p.streams[id] = sb
+	return sb, nil
+}
+
+// Close releases a stream's buffer back to the pool.
+func (p *Pool) Close(id int) {
+	if sb, ok := p.streams[id]; ok {
+		p.used -= sb.level
+		delete(p.streams, id)
+	}
+}
+
+// Streams returns the number of open streams.
+func (p *Pool) Streams() int { return len(p.streams) }
+
+// Level returns the stream's current buffered bytes.
+func (b *StreamBuffer) Level() units.Bytes { return b.level }
+
+// Fill stages n bytes arriving from a device IO. It fails if the pool
+// would exceed capacity.
+func (b *StreamBuffer) Fill(n units.Bytes) error {
+	if n < 0 {
+		return fmt.Errorf("dram: negative fill")
+	}
+	if b.pool.capacity > 0 && b.pool.used+n > b.pool.capacity {
+		return fmt.Errorf("%w: need %v, free %v", ErrExhausted, n, b.pool.capacity-b.pool.used)
+	}
+	b.level += n
+	b.Filled += n
+	b.pool.used += n
+	if b.pool.used > b.pool.highWater {
+		b.pool.highWater = b.pool.used
+	}
+	return nil
+}
+
+// Drain consumes playback data for the elapsed interval d at the stream's
+// nominal rate. If the buffer holds less than the playback requirement the
+// stream underflows: the deficit is recorded and the buffer empties.
+func (b *StreamBuffer) Drain(d time.Duration) (underflow units.Bytes) {
+	b.drained += d
+	return b.DrainBytes(units.BytesIn(b.rate, d))
+}
+
+// DrainBytes consumes an explicit byte amount — used by VBR playback,
+// whose per-interval consumption varies around the nominal rate.
+func (b *StreamBuffer) DrainBytes(need units.Bytes) (underflow units.Bytes) {
+	if need <= 0 {
+		return 0
+	}
+	if need <= b.level {
+		b.level -= need
+		b.pool.used -= need
+		return 0
+	}
+	deficit := need - b.level
+	b.pool.used -= b.level
+	b.level = 0
+	b.Underflows++
+	return deficit
+}
+
+// PlaybackPosition returns how much stream time has been drained.
+func (b *StreamBuffer) PlaybackPosition() time.Duration { return b.drained }
+
+// Rate returns the stream's drain rate.
+func (b *StreamBuffer) Rate() units.ByteRate { return b.rate }

@@ -1,0 +1,194 @@
+package dram
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"memstream/internal/units"
+)
+
+func TestOpenCloseAccounting(t *testing.T) {
+	p := NewPool(1 * units.GB)
+	b, err := p.Open(1, 1*units.MBPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fill(10 * units.MB); err != nil {
+		t.Fatal(err)
+	}
+	if p.Used() != 10*units.MB || p.Streams() != 1 {
+		t.Errorf("used=%v streams=%d", p.Used(), p.Streams())
+	}
+	p.Close(1)
+	if p.Used() != 0 || p.Streams() != 0 {
+		t.Errorf("after close: used=%v streams=%d", p.Used(), p.Streams())
+	}
+}
+
+func TestOpenDuplicateRejected(t *testing.T) {
+	p := NewPool(0)
+	if _, err := p.Open(7, 1*units.MBPS); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Open(7, 1*units.MBPS); err == nil {
+		t.Fatal("duplicate stream id accepted")
+	}
+}
+
+func TestOpenBadRate(t *testing.T) {
+	p := NewPool(0)
+	if _, err := p.Open(1, 0); err == nil {
+		t.Fatal("zero-rate stream accepted")
+	}
+}
+
+func TestFillCapacityEnforced(t *testing.T) {
+	p := NewPool(10 * units.MB)
+	b, _ := p.Open(1, 1*units.MBPS)
+	if err := b.Fill(8 * units.MB); err != nil {
+		t.Fatal(err)
+	}
+	err := b.Fill(4 * units.MB)
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("overfill error = %v, want ErrExhausted", err)
+	}
+	// Unlimited pool accepts anything.
+	u := NewPool(0)
+	ub, _ := u.Open(1, 1*units.MBPS)
+	if err := ub.Fill(100 * units.GB); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFillNegativeRejected(t *testing.T) {
+	p := NewPool(0)
+	b, _ := p.Open(1, 1*units.MBPS)
+	if err := b.Fill(-1); err == nil {
+		t.Fatal("negative fill accepted")
+	}
+}
+
+func TestDrainConsumesAtRate(t *testing.T) {
+	p := NewPool(0)
+	b, _ := p.Open(1, 2*units.MBPS)
+	if err := b.Fill(10 * units.MB); err != nil {
+		t.Fatal(err)
+	}
+	if def := b.Drain(3 * time.Second); def != 0 {
+		t.Fatalf("unexpected underflow %v", def)
+	}
+	if b.Level() != 4*units.MB {
+		t.Errorf("level = %v, want 4MB", b.Level())
+	}
+	if p.Used() != 4*units.MB {
+		t.Errorf("pool used = %v, want 4MB", p.Used())
+	}
+	if b.PlaybackPosition() != 3*time.Second {
+		t.Errorf("position = %v", b.PlaybackPosition())
+	}
+}
+
+func TestDrainUnderflow(t *testing.T) {
+	p := NewPool(0)
+	b, _ := p.Open(1, 2*units.MBPS)
+	if err := b.Fill(1 * units.MB); err != nil {
+		t.Fatal(err)
+	}
+	def := b.Drain(1 * time.Second) // needs 2MB, has 1MB
+	if def != 1*units.MB {
+		t.Errorf("deficit = %v, want 1MB", def)
+	}
+	if b.Underflows != 1 {
+		t.Errorf("underflows = %d, want 1", b.Underflows)
+	}
+	if b.Level() != 0 || p.Used() != 0 {
+		t.Errorf("level=%v used=%v after underflow", b.Level(), p.Used())
+	}
+}
+
+func TestHighWaterTracksPeak(t *testing.T) {
+	p := NewPool(0)
+	a, _ := p.Open(1, 1*units.MBPS)
+	b, _ := p.Open(2, 1*units.MBPS)
+	if err := a.Fill(5 * units.MB); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fill(7 * units.MB); err != nil {
+		t.Fatal(err)
+	}
+	a.Drain(4 * time.Second)
+	if p.HighWater() != 12*units.MB {
+		t.Errorf("high water = %v, want 12MB", p.HighWater())
+	}
+	if p.Used() != 8*units.MB {
+		t.Errorf("used = %v, want 8MB", p.Used())
+	}
+}
+
+func TestFilledAccumulates(t *testing.T) {
+	p := NewPool(0)
+	b, _ := p.Open(1, 1*units.MBPS)
+	for i := 0; i < 4; i++ {
+		if err := b.Fill(3 * units.MB); err != nil {
+			t.Fatal(err)
+		}
+		b.Drain(3 * time.Second)
+	}
+	if b.Filled != 12*units.MB {
+		t.Errorf("Filled = %v, want 12MB", b.Filled)
+	}
+}
+
+// Property: pool usage equals the sum of stream levels after any sequence
+// of fills and drains.
+func TestPoolConservationProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		p := NewPool(0)
+		bufs := make([]*StreamBuffer, 4)
+		for i := range bufs {
+			bufs[i], _ = p.Open(i, 1*units.MBPS)
+		}
+		for _, op := range ops {
+			b := bufs[int(op)%len(bufs)]
+			if op%2 == 0 {
+				if err := b.Fill(units.Bytes(op) * units.KB); err != nil {
+					return false
+				}
+			} else {
+				b.Drain(time.Duration(op%100) * time.Millisecond)
+			}
+		}
+		var sum units.Bytes
+		for _, b := range bufs {
+			sum += b.Level()
+		}
+		diff := float64(sum - p.Used())
+		return diff < 1e-6 && diff > -1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a stream filled with exactly rate*T bytes then drained for T
+// never underflows, and ends empty.
+func TestExactProvisioningProperty(t *testing.T) {
+	f := func(rateKB uint16, secs uint8) bool {
+		if rateKB == 0 || secs == 0 {
+			return true
+		}
+		p := NewPool(0)
+		b, _ := p.Open(1, units.ByteRate(rateKB)*units.KBPS)
+		d := time.Duration(secs) * time.Second
+		if err := b.Fill(units.BytesIn(b.Rate(), d)); err != nil {
+			return false
+		}
+		def := b.Drain(d)
+		return def == 0 && b.Underflows == 0 && float64(b.Level()) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

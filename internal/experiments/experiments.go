@@ -1,0 +1,120 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (its Section 5) plus a model-vs-simulation validation run.
+// Each experiment produces a rendered text artifact and, where meaningful,
+// structured series for CSV export. The experiment IDs match DESIGN.md's
+// per-experiment index.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"memstream/internal/disk"
+	"memstream/internal/mems"
+	"memstream/internal/model"
+	"memstream/internal/plot"
+	"memstream/internal/units"
+)
+
+// Result is one regenerated artifact.
+type Result struct {
+	ID     string
+	Title  string
+	Output string        // rendered table/chart text
+	Series []plot.Series // structured data, when the artifact is a plot
+}
+
+// runner produces one artifact.
+type runner struct {
+	title string
+	run   func() (Result, error)
+}
+
+// registry maps experiment IDs to runners; populated by the per-figure
+// files' init functions.
+var registry = map[string]runner{}
+
+func register(id, title string, run func() (Result, error)) {
+	registry[id] = runner{title: title, run: run}
+}
+
+// IDs returns all experiment IDs in stable order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Title returns an experiment's display title.
+func Title(id string) (string, bool) {
+	r, ok := registry[id]
+	return r.title, ok
+}
+
+// Run executes one experiment by ID.
+func Run(id string) (Result, error) {
+	r, ok := registry[id]
+	if !ok {
+		return Result{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+	}
+	res, err := r.run()
+	if err != nil {
+		return Result{}, fmt.Errorf("experiments: %s: %w", id, err)
+	}
+	res.ID = id
+	res.Title = r.title
+	return res, nil
+}
+
+// --- Shared paper-default parameters ---
+
+// paperDisk is the FutureDisk spec under the paper's convention
+// (scheduler-informed average access: average seek + rotation).
+func paperDisk() model.DeviceSpec {
+	p := disk.FutureDisk()
+	return model.DeviceSpec{Rate: p.OuterRate, Latency: p.AvgAccess()}
+}
+
+// paperMEMS is the G3 spec under the paper's convention (maximum
+// positioning latency).
+func paperMEMS() model.DeviceSpec {
+	p := mems.G3()
+	return model.DeviceSpec{Rate: p.Rate, Latency: p.MaxLatency()}
+}
+
+// memsAtRatio returns a MEMS spec whose latency realizes the given
+// disk/MEMS latency ratio (the sensitivity knob of §5.1).
+func memsAtRatio(ratio float64) model.DeviceSpec {
+	d := paperDisk()
+	m := paperMEMS()
+	m.Latency = units.Seconds(d.Latency.Seconds() / ratio)
+	return m
+}
+
+// bitRates are the four media classes swept in Figures 6–8.
+var bitRates = []struct {
+	name string
+	rate units.ByteRate
+}{
+	{"mp3 10KB/s", 10 * units.KBPS},
+	{"DivX 100KB/s", 100 * units.KBPS},
+	{"DVD 1MB/s", 1 * units.MBPS},
+	{"HDTV 10MB/s", 10 * units.MBPS},
+}
+
+// distributions are the popularity points of Figures 9–10.
+var distributions = []struct {
+	x, y float64
+}{
+	{1, 99}, {5, 95}, {10, 90}, {20, 80}, {50, 50},
+}
+
+const (
+	g3Capacity  = 10 * units.GB
+	contentSize = 1000 * units.GB // Size_disk: one FutureDisk of content
+)
+
+var paperCosts = model.Table3Costs()

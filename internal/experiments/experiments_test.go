@@ -1,0 +1,372 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"memstream/internal/model"
+	"memstream/internal/units"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"ablation-devcache", "ablation-edf", "ablation-gss", "ablation-layout", "ablation-routing", "array", "besteffort", "dynamics",
+		"fig10", "fig2", "fig4", "fig5", "fig6", "fig7a", "fig7b",
+		"fig8", "fig9-zipf", "fig9a", "fig9b", "generations", "hybrid", "sens", "table1", "table2", "table3", "validate", "year2002",
+	}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs = %v, want %v", got, want)
+		}
+	}
+	for _, id := range want {
+		if _, ok := Title(id); !ok {
+			t.Errorf("no title for %s", id)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("fig99"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestAllExperimentsProduceOutput(t *testing.T) {
+	for _, id := range IDs() {
+		res, err := Run(id)
+		if err != nil {
+			t.Errorf("%s: %v", id, err)
+			continue
+		}
+		if len(res.Output) < 50 {
+			t.Errorf("%s: output suspiciously short (%d bytes)", id, len(res.Output))
+		}
+		if res.ID != id {
+			t.Errorf("%s: result tagged %s", id, res.ID)
+		}
+	}
+}
+
+func TestTable3ReportsPaperNumbers(t *testing.T) {
+	res, err := Run("table3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"20000", "300", "320", "2.80", "7.00", "0.45", "0.14", "1000", "10"} {
+		if !strings.Contains(res.Output, want) {
+			t.Errorf("table3 missing %q", want)
+		}
+	}
+}
+
+func TestFig2SeriesShape(t *testing.T) {
+	res, err := Run("fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("series = %d, want 2 (MEMS, disk)", len(res.Series))
+	}
+	memsS, diskS := res.Series[0], res.Series[1]
+	// At small IOs MEMS wins big; at 10MB both approach their media rates.
+	if memsS.Points[0].Y < 3*diskS.Points[0].Y {
+		t.Errorf("at 16KB: MEMS %.1f vs disk %.1f, want ≥3x", memsS.Points[0].Y, diskS.Points[0].Y)
+	}
+	last := len(diskS.Points) - 1
+	if diskS.Points[last].Y < 250 {
+		t.Errorf("disk at 10MB = %.1fMB/s, want ≥250", diskS.Points[last].Y)
+	}
+	if memsS.Points[last].Y < 300 {
+		t.Errorf("MEMS at 10MB = %.1fMB/s, want ≥300", memsS.Points[last].Y)
+	}
+}
+
+func TestFig6OrderOfMagnitudeReduction(t *testing.T) {
+	res, err := Run("fig6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find matching direct/buffered series and compare at common points.
+	series := map[string][]float64{}
+	xs := map[string][]float64{}
+	for _, s := range res.Series {
+		for _, p := range s.Points {
+			series[s.Name] = append(series[s.Name], p.Y)
+			xs[s.Name] = append(xs[s.Name], p.X)
+		}
+	}
+	direct, buffered := series["direct mp3 10KB/s"], series["buffered mp3 10KB/s"]
+	if len(direct) == 0 || len(buffered) == 0 {
+		t.Fatalf("missing mp3 series; have %v", keysOf(series))
+	}
+	// The figure's claim: at matched N the buffered DRAM is at least an
+	// order of magnitude below direct at mid-to-high loads.
+	dx, bx := xs["direct mp3 10KB/s"], xs["buffered mp3 10KB/s"]
+	checked := 0
+	for i, x := range dx {
+		if x < 1000 {
+			continue
+		}
+		for j, x2 := range bx {
+			if x2 == x && buffered[j] > 0 {
+				if ratio := direct[i] / buffered[j]; ratio < 10 {
+					t.Errorf("N=%.0f: reduction %.1fx < 10x", x, ratio)
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Error("no common high-N points compared")
+	}
+}
+
+func TestFig7aShape(t *testing.T) {
+	res, err := Run("fig7a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Series {
+		if len(s.Points) == 0 {
+			t.Errorf("series %s empty", s.Name)
+			continue
+		}
+		// Cost reduction grows (weakly) with the latency ratio.
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].Y < s.Points[i-1].Y-1e-6 {
+				t.Errorf("%s: reduction fell from %.1f%% to %.1f%% at ratio %g",
+					s.Name, s.Points[i-1].Y, s.Points[i].Y, s.Points[i].X)
+				break
+			}
+		}
+	}
+	// Low/medium bit-rates reach the paper's 70-80% band at high ratios;
+	// HDTV stays far below (its §5.1.3 observation).
+	byName := map[string][]float64{}
+	for _, s := range res.Series {
+		for _, p := range s.Points {
+			byName[s.Name] = append(byName[s.Name], p.Y)
+		}
+	}
+	mp3 := byName["mp3 10KB/s"]
+	hdtv := byName["HDTV 10MB/s"]
+	if len(mp3) == 0 || len(hdtv) == 0 {
+		t.Fatal("missing series")
+	}
+	if mp3[len(mp3)-1] < 60 {
+		t.Errorf("mp3 reduction at ratio 10 = %.0f%%, want ≥60%%", mp3[len(mp3)-1])
+	}
+	if hdtv[len(hdtv)-1] > mp3[len(mp3)-1]/2 {
+		t.Errorf("HDTV reduction %.0f%% should be well below mp3 %.0f%%",
+			hdtv[len(hdtv)-1], mp3[len(mp3)-1])
+	}
+}
+
+func TestFig7bHasRegions(t *testing.T) {
+	res, err := Run("fig7b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, glyph := range []string{"#", "+"} {
+		if !strings.Contains(res.Output, glyph) {
+			t.Errorf("contour missing %q band", glyph)
+		}
+	}
+}
+
+func TestFig8SavingsSpanPaperRange(t *testing.T) {
+	res, err := Run("fig8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peaks := map[string]float64{}
+	for _, s := range res.Series {
+		for _, p := range s.Points {
+			if p.Y > peaks[s.Name] {
+				peaks[s.Name] = p.Y
+			}
+		}
+	}
+	// §5.1.2: tens of dollars for high bit-rates, tens of thousands for low.
+	if peaks["mp3 10KB/s"] < 10000 {
+		t.Errorf("mp3 peak saving $%.0f, want ≥$10k", peaks["mp3 10KB/s"])
+	}
+	if peaks["HDTV 10MB/s"] <= 0 || peaks["HDTV 10MB/s"] > 1000 {
+		t.Errorf("HDTV peak saving $%.0f, want small but positive", peaks["HDTV 10MB/s"])
+	}
+	if peaks["mp3 10KB/s"] < 100*peaks["HDTV 10MB/s"] {
+		t.Errorf("saving span mp3 $%.0f vs HDTV $%.0f too narrow",
+			peaks["mp3 10KB/s"], peaks["HDTV 10MB/s"])
+	}
+}
+
+func TestFig9aCacheBeatsBaselineWhenSkewed(t *testing.T) {
+	// Rebuild the Figure 9(a) cells directly for precise assertions.
+	br := 10 * units.KBPS
+	base50 := directThroughput(br, 50)
+	repl50 := cacheThroughput(br, 1, 99, 50, 1, model.Replicated)
+	if repl50 <= base50 {
+		t.Errorf("1:99 $50: cache %d not above baseline %d", repl50, base50)
+	}
+	// Uniform popularity: cache should lose.
+	uni := cacheThroughput(br, 50, 50, 50, 1, model.Striped)
+	if uni >= base50 {
+		t.Errorf("50:50 $50: cache %d should trail baseline %d", uni, base50)
+	}
+	// Replication beats striping under extreme skew at k=4 (paper §5.2.1).
+	r := cacheThroughput(br, 1, 99, 200, 4, model.Replicated)
+	s := cacheThroughput(br, 1, 99, 200, 4, model.Striped)
+	if r <= s {
+		t.Errorf("1:99 $200: replicated %d should beat striped %d", r, s)
+	}
+	// Striping beats replication at moderate skew where capacity matters.
+	r2 := cacheThroughput(br, 5, 95, 200, 4, model.Replicated)
+	s2 := cacheThroughput(br, 5, 95, 200, 4, model.Striped)
+	if s2 <= r2 {
+		t.Errorf("5:95 $200: striped %d should beat replicated %d", s2, r2)
+	}
+}
+
+func TestFig9bCacheGainIsBitRateIndependent(t *testing.T) {
+	// §5.2.3: the cache's relative improvement persists at 1MB/s.
+	br := 1 * units.MBPS
+	base := directThroughput(br, 200)
+	cached := cacheThroughput(br, 1, 99, 200, 4, model.Replicated)
+	if cached < 2*base {
+		t.Errorf("1MB/s 1:99 $200: cached %d, baseline %d — want ≥2x", cached, base)
+	}
+}
+
+func TestFig10OptimalKExists(t *testing.T) {
+	res, err := Run("fig10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Series {
+		if len(s.Points) != 8 {
+			t.Fatalf("series %s has %d points", s.Name, len(s.Points))
+		}
+	}
+	series := map[string][]float64{}
+	for _, s := range res.Series {
+		for _, p := range s.Points {
+			series[s.Name] = append(series[s.Name], p.Y)
+		}
+	}
+	// 50:50 never improves (§5.2.4).
+	for _, v := range series["50:50"] {
+		if v > 0 {
+			t.Errorf("uniform popularity improved throughput by %.0f%%", v)
+		}
+	}
+	// 1:99 improves substantially and has an interior optimum.
+	vals := series["1:99"]
+	best, bestK := 0.0, 0
+	for i, v := range vals {
+		if v > best {
+			best, bestK = v, i+1
+		}
+	}
+	if best < 100 {
+		t.Errorf("1:99 peak improvement %.0f%%, want ≥100%% (paper: up to 2.4x)", best)
+	}
+	if bestK == 8 && vals[7] > vals[6] {
+		t.Error("1:99 improvement still rising at k=8; expected an interior optimum")
+	}
+}
+
+func TestValidateReportsZeroUnderflows(t *testing.T) {
+	res, err := Run("validate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(res.Output, "\n")
+	rows := 0
+	for _, l := range lines {
+		if strings.HasPrefix(l, "| direct") || strings.HasPrefix(l, "| mems-") {
+			rows++
+			if !strings.Contains(l, "| 0 ") {
+				t.Errorf("row with underflows: %s", l)
+			}
+		}
+	}
+	if rows != 6 {
+		t.Errorf("validation rows = %d, want 6", rows)
+	}
+}
+
+func TestSensitivityBoundary(t *testing.T) {
+	res, err := Run("sens")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Footnote 2's region: strong savings at 10-20x price ratio with
+	// BW ≥ disk; infeasible below the 2x staging bandwidth; negative at
+	// price parity-ish ratios.
+	for _, want := range []string{"infeasible", "+53%", "+73%", "-10"} {
+		if !strings.Contains(res.Output, want) {
+			t.Errorf("sensitivity output missing %q", want)
+		}
+	}
+}
+
+func TestSchedulesRender(t *testing.T) {
+	for _, id := range []string{"fig4", "fig5"} {
+		res, err := Run(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(res.Output, "Disk head") {
+			t.Errorf("%s missing disk row", id)
+		}
+		if !strings.Contains(res.Output, "MEMS 1") {
+			t.Errorf("%s missing MEMS row", id)
+		}
+	}
+	res, _ := Run("fig5")
+	if !strings.Contains(res.Output, "MEMS 3") {
+		t.Error("fig5 should show 3 MEMS devices")
+	}
+}
+
+func TestRelaxedBufferPlan(t *testing.T) {
+	load := model.StreamLoad{N: 10000, BitRate: 10 * units.KBPS}
+	plan, ok := relaxedBufferPlan(load, paperDisk(), paperMEMS(), paperCosts, 64)
+	if !ok {
+		t.Fatal("relaxed plan infeasible")
+	}
+	if plan.K < 2 {
+		t.Errorf("k = %d, want ≥2", plan.K)
+	}
+	if plan.TotalDRAM <= 0 || plan.MEMSBytes <= 0 {
+		t.Error("degenerate plan")
+	}
+	direct, err := model.DiskDirect(load, paperDisk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalDRAM >= direct.TotalDRAM {
+		t.Errorf("relaxed buffered DRAM %v not below direct %v", plan.TotalDRAM, direct.TotalDRAM)
+	}
+	if float64(plan.TotalCost) >= float64(paperCosts.DRAMCost(direct.TotalDRAM)) {
+		t.Error("relaxed plan costs more than direct DRAM")
+	}
+	// Infeasible load.
+	if _, ok := relaxedBufferPlan(model.StreamLoad{N: 100000, BitRate: 10 * units.MBPS},
+		paperDisk(), paperMEMS(), paperCosts, 8); ok {
+		t.Error("impossible load accepted")
+	}
+}
+
+func keysOf[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"memstream/internal/model"
+	"memstream/internal/plot"
+)
+
+func init() {
+	register("fig6", "Figure 6: DRAM requirement vs number of streams (without/with MEMS buffer)", runFig6)
+}
+
+// streamCounts sweeps N logarithmically from 1 to 100,000, matching the
+// figure's log X axis, and densifies near nMax — the region where the
+// buffering requirement blows up and the paper's headline numbers live.
+// nMax ≤ 0 skips the densification.
+func streamCounts(nMax int) []int {
+	var ns []int
+	for _, base := range []int{1, 2, 5} {
+		for mag := 1; mag <= 100000; mag *= 10 {
+			n := base * mag
+			if n <= 100000 {
+				ns = append(ns, n)
+			}
+		}
+	}
+	if nMax > 0 {
+		for _, f := range []float64{0.5, 0.7, 0.8, 0.9, 0.95, 0.99} {
+			if n := int(f * float64(nMax)); n >= 1 {
+				ns = append(ns, n)
+			}
+		}
+	}
+	// sort ascending and dedupe (bases interleave magnitudes).
+	for i := 1; i < len(ns); i++ {
+		for j := i; j > 0 && ns[j] < ns[j-1]; j-- {
+			ns[j], ns[j-1] = ns[j-1], ns[j]
+		}
+	}
+	out := ns[:0]
+	for i, n := range ns {
+		if i == 0 || n != ns[i-1] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// runFig6 reproduces Figure 6: total DRAM required to sustain N streams of
+// each media class, (a) streaming directly from the disk and (b) through a
+// MEMS buffer bank (minimal feasible bank of at least two G3 devices, as
+// in §5.1). Points beyond a configuration's feasibility limit are omitted,
+// which is how the paper's curves terminate.
+func runFig6() (Result, error) {
+	d := paperDisk()
+	m := paperMEMS()
+
+	var without, with []plot.Series
+	var summary string
+	for _, br := range bitRates {
+		var wPts, bPts []plot.Point
+		nMax := model.MaxStreamsDirect(br.rate, d, 0)
+		for _, n := range streamCounts(nMax) {
+			load := model.StreamLoad{N: n, BitRate: br.rate}
+			if plan, err := model.DiskDirect(load, d); err == nil {
+				wPts = append(wPts, plot.Point{X: float64(n), Y: float64(plan.TotalDRAM) / 1e9})
+			} else if !errors.Is(err, model.ErrInfeasible) {
+				return Result{}, err
+			}
+			// §5.1.1 relaxation: unlimited MEMS storage at cost-per-byte,
+			// bandwidth-minimal bank of ≥2 devices.
+			if plan, ok := relaxedBufferPlan(load, d, m, paperCosts, 1024); ok {
+				bPts = append(bPts, plot.Point{X: float64(n), Y: float64(plan.TotalDRAM) / 1e9})
+			}
+		}
+		without = append(without, plot.Series{Name: br.name, Points: wPts})
+		with = append(with, plot.Series{Name: br.name, Points: bPts})
+
+		// Report the reduction at the highest N both configurations reach.
+		if len(wPts) > 0 && len(bPts) > 0 {
+			i, j := len(wPts)-1, len(bPts)-1
+			for i >= 0 && j >= 0 {
+				if wPts[i].X == bPts[j].X {
+					summary += fmt.Sprintf("  %-13s N=%-7.0f direct %8.3fGB  buffered %8.3fGB  (%.0fx reduction)\n",
+						br.name, wPts[i].X, wPts[i].Y, bPts[j].Y, wPts[i].Y/bPts[j].Y)
+					break
+				}
+				if wPts[i].X > bPts[j].X {
+					i--
+				} else {
+					j--
+				}
+			}
+		}
+	}
+
+	ca := &plot.Chart{
+		Title: "(a) Without MEMS buffer", XLabel: "Number of streams",
+		YLabel: "DRAM requirement (GB)", LogX: true, LogY: true, Series: without,
+	}
+	cb := &plot.Chart{
+		Title: "(b) With MEMS buffer", XLabel: "Number of streams",
+		YLabel: "DRAM requirement (GB)", LogX: true, LogY: true, Series: with,
+	}
+	out := ca.Render() + "\n" + cb.Render() + "\nReduction at largest common N:\n" + summary
+	all := append(append([]plot.Series{}, tagSeries("direct ", without)...), tagSeries("buffered ", with)...)
+	return Result{Output: out, Series: all}, nil
+}
+
+func tagSeries(prefix string, in []plot.Series) []plot.Series {
+	out := make([]plot.Series, len(in))
+	for i, s := range in {
+		out[i] = plot.Series{Name: prefix + s.Name, Points: s.Points}
+	}
+	return out
+}

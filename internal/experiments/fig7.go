@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+
+	"memstream/internal/model"
+	"memstream/internal/plot"
+	"memstream/internal/units"
+)
+
+func init() {
+	register("fig7a", "Figure 7(a): percentage cost reduction vs latency ratio", runFig7a)
+	register("fig7b", "Figure 7(b): cost-reduction regions (25/50/75% contours)", runFig7b)
+}
+
+// offTheShelf is the §5.1.3 case study box: DRAM capped at 5GB, a 2-device
+// G3 buffer (20GB, $20).
+const (
+	shelfDRAMCap = 5 * units.GB
+	shelfK       = 2
+)
+
+// costReductionAt computes the percentage reduction in buffering cost for
+// one bit-rate and latency ratio under the off-the-shelf configuration:
+// the stream population is the largest the DRAM-only box sustains, and the
+// MEMS-buffered box must serve the same population.
+func costReductionAt(bitRate units.ByteRate, ratio float64) (float64, bool) {
+	d := paperDisk()
+	m := memsAtRatio(ratio)
+
+	n := model.MaxStreamsDirect(bitRate, d, shelfDRAMCap)
+	if n < 1 {
+		return 0, false
+	}
+	load := model.StreamLoad{N: n, BitRate: bitRate}
+	direct, err := model.DiskDirect(load, d)
+	if err != nil {
+		return 0, false
+	}
+	costWithout := paperCosts.DRAMCost(direct.TotalDRAM)
+
+	cfg := model.BufferConfig{Load: load, Disk: d, MEMS: m, K: shelfK, SizePerDevice: g3Capacity}
+	plan, err := model.BufferPlan(cfg)
+	if err != nil {
+		return 0, false
+	}
+	costWith := paperCosts.BankCost(shelfK) + paperCosts.DRAMCost(plan.TotalDRAM)
+	reduction := 100 * (1 - float64(costWith)/float64(costWithout))
+	return reduction, true
+}
+
+// runFig7a reproduces Figure 7(a): cost-reduction curves for the four
+// media classes as the disk/MEMS latency ratio sweeps 1..10.
+func runFig7a() (Result, error) {
+	var series []plot.Series
+	for _, br := range bitRates {
+		var pts []plot.Point
+		for ratio := 1.0; ratio <= 10.0; ratio += 0.5 {
+			if red, ok := costReductionAt(br.rate, ratio); ok {
+				pts = append(pts, plot.Point{X: ratio, Y: red})
+			}
+		}
+		series = append(series, plot.Series{Name: br.name, Points: pts})
+	}
+	c := &plot.Chart{
+		Title:  "Percentage reduction in buffering cost (5GB DRAM box, 2xG3 buffer)",
+		XLabel: "Latency ratio (L̄_disk / L̄_mems)",
+		YLabel: "Cost reduction (%)",
+		Series: series,
+	}
+	out := c.Render()
+	out += "\nAt the G3 design point (ratio ≈ 7.3):\n"
+	for _, br := range bitRates {
+		if red, ok := costReductionAt(br.rate, 7.3); ok {
+			out += fmt.Sprintf("  %-13s %.0f%%\n", br.name, red)
+		} else {
+			out += fmt.Sprintf("  %-13s infeasible\n", br.name)
+		}
+	}
+	return Result{Output: out, Series: series}, nil
+}
+
+// runFig7b reproduces Figure 7(b): the same quantity as a contour map over
+// (latency ratio, bit-rate), with the paper's 25/50/75% region boundaries.
+func runFig7b() (Result, error) {
+	ratios := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	// Bit-rates 10KB/s..10MB/s on a log grid, high rates at the top as in
+	// the paper's Y axis.
+	var rates []units.ByteRate
+	for _, base := range []float64{1e7, 5e6, 2e6, 1e6, 5e5, 2e5, 1e5, 5e4, 2e4, 1e4} {
+		rates = append(rates, units.ByteRate(base))
+	}
+	cells := make([][]float64, len(rates))
+	yticks := make([]string, len(rates))
+	for i, r := range rates {
+		cells[i] = make([]float64, len(ratios))
+		yticks[i] = units.ByteRate(r).String()
+		for j, ratio := range ratios {
+			if red, ok := costReductionAt(r, ratio); ok {
+				cells[i][j] = red
+			} else {
+				cells[i][j] = 0
+			}
+		}
+	}
+	xticks := make([]string, len(ratios))
+	for j, r := range ratios {
+		xticks[j] = fmt.Sprintf("%g", r)
+	}
+	c := &plot.Contour{
+		Title:      "Cost-reduction regions",
+		XLabel:     "latency ratio",
+		YLabel:     "average stream bit-rate",
+		XTicks:     xticks,
+		YTicks:     yticks,
+		Thresholds: []float64{25, 50, 75},
+		Glyphs:     []byte(" .+#"),
+		Cells:      cells,
+	}
+	return Result{Output: c.Render()}, nil
+}

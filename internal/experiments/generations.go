@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+
+	"memstream/internal/disk"
+	"memstream/internal/mems"
+	"memstream/internal/model"
+	"memstream/internal/plot"
+	"memstream/internal/units"
+)
+
+func init() {
+	register("generations",
+		"MEMS generations G1-G3 as buffer and cache (our addition)", runGenerations)
+	register("year2002",
+		"The 2002 baseline that motivates the paper (our addition)", runYear2002)
+}
+
+// runGenerations sweeps the CMU device generations through the buffer and
+// cache roles: the framework prices any (rate, latency, capacity, cost)
+// point, so the G1→G3 trajectory shows when MEMS becomes compelling.
+func runGenerations() (Result, error) {
+	d := paperDisk()
+	load := model.StreamLoad{N: 2000, BitRate: 100 * units.KBPS}
+	direct, err := model.DiskDirect(load, d)
+	if err != nil {
+		return Result{}, err
+	}
+	directCost := paperCosts.DRAMCost(direct.TotalDRAM)
+
+	t := &plot.Table{
+		Title: fmt.Sprintf("2000 DivX streams: buffering/caching with each MEMS generation (direct DRAM: %v, %v)",
+			direct.TotalDRAM, directCost),
+		Headers: []string{"device", "R", "L̄max", "buffer k", "buffered DRAM",
+			"buffer cost", "cache gain ($100, 1:99)"},
+	}
+	for _, p := range []mems.Params{mems.G1(), mems.G2(), mems.G3()} {
+		spec := model.DeviceSpec{Rate: p.Rate, Latency: p.MaxLatency()}
+		costs := model.CostModel{DRAMPerGB: 20, MEMSPerGB: p.CostPerGB, MEMSSize: p.Capacity}
+
+		bufferCell, dramCell, kCell := "infeasible", "-", "-"
+		cfg := model.BufferConfig{Load: load, Disk: d, MEMS: spec, SizePerDevice: p.Capacity}
+		if k, plan, err := model.MinFeasibleK(cfg, 2, 64); err == nil {
+			kCell = fmt.Sprintf("%d", k)
+			dramCell = plan.TotalDRAM.String()
+			total := units.Dollars(float64(costs.BankCost(k)) + float64(costs.DRAMCost(plan.TotalDRAM)))
+			saved := float64(directCost - total)
+			if saved >= 0 {
+				bufferCell = fmt.Sprintf("%v (saves %.0f%%)", total, 100*saved/float64(directCost))
+			} else {
+				bufferCell = fmt.Sprintf("%v (%.1fx direct)", total, float64(total)/float64(directCost))
+			}
+		}
+
+		// Cache gain at a $100 budget under 1:99 popularity.
+		base := model.MaxStreamsDirect(load.BitRate, d, costs.DRAMFor(100))
+		gainCell := "-"
+		if devBudget := costs.MEMSDeviceCost(); devBudget < 100 {
+			k := 2
+			dram := costs.DRAMFor(100 - costs.BankCost(k))
+			if dram > 0 {
+				ccfg := model.CacheConfig{
+					Load: model.StreamLoad{N: 1, BitRate: load.BitRate},
+					Disk: d, MEMS: spec, K: k, Policy: model.Striped,
+					SizePerDevice: p.Capacity, ContentSize: contentSize,
+					X: 1, Y: 99,
+				}
+				n := model.MaxStreamsCached(ccfg, dram)
+				gainCell = fmt.Sprintf("%+.0f%%", 100*(float64(n)-float64(base))/float64(base))
+			}
+		}
+		t.AddRow(p.Name, p.Rate.String(),
+			p.MaxLatency().Round(10000).String(),
+			kCell, dramCell, bufferCell, gainCell)
+	}
+	out := t.Render() +
+		"\nEach generation doubles capacity and bandwidth while latency and $/GB\n" +
+		"fall; the framework prices every point, showing the architecture is\n" +
+		"attractive well before the G3 design the paper evaluates.\n"
+	return Result{Output: out}, nil
+}
+
+// runYear2002 evaluates the paper's motivation on the 2002 hardware of its
+// Table 1: an Atlas 10K III with DRAM at $200/GB. The DRAM bill for a
+// loaded streaming server was brutal — which is exactly why a cheap
+// low-latency layer looked so attractive.
+func runYear2002() (Result, error) {
+	p := disk.Atlas10K3()
+	d := model.DeviceSpec{Rate: p.OuterRate, Latency: p.AvgAccess()}
+	costs2002 := model.CostModel{DRAMPerGB: 200, MEMSPerGB: 10, MEMSSize: 3.46 * units.GB}
+
+	t := &plot.Table{
+		Title:   "Year 2002: Atlas 10K III (55MB/s), DRAM at $200/GB",
+		Headers: []string{"class", "max streams", "DRAM at 90% load", "DRAM cost"},
+	}
+	for _, br := range bitRates {
+		nMax := model.MaxStreamsDirect(br.rate, d, 0)
+		if nMax < 1 {
+			t.AddRow(br.name, "0", "-", "-")
+			continue
+		}
+		n := int(0.9 * float64(nMax))
+		if n < 1 {
+			n = 1
+		}
+		plan, err := model.DiskDirect(model.StreamLoad{N: n, BitRate: br.rate}, d)
+		if err != nil {
+			return Result{}, err
+		}
+		t.AddRow(br.name,
+			fmt.Sprintf("%d", nMax),
+			plan.TotalDRAM.String(),
+			costs2002.DRAMCost(plan.TotalDRAM).String(),
+		)
+	}
+	out := t.Render() +
+		"\nIn 2002 a single disk's worth of low bit-rate streams demanded hundreds\n" +
+		"of dollars of DRAM per drive — the buffering-cost squeeze the paper's\n" +
+		"introduction opens with, and the gap MEMS storage promised to fill.\n"
+	return Result{Output: out}, nil
+}

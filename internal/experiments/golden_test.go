@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from current output")
+
+// goldenIDs are the artifacts pinned byte-for-byte: they are pure
+// functions of the Table 3 constants, so any drift means a model or
+// rendering change that EXPERIMENTS.md must re-verify.
+var goldenIDs = []string{"table1", "table2", "table3", "fig7b", "sens"}
+
+func TestGoldenArtifacts(t *testing.T) {
+	for _, id := range goldenIDs {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", id+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(res.Output), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run `go test ./internal/experiments -update`): %v", err)
+			}
+			if string(want) != res.Output {
+				t.Errorf("%s drifted from golden output; if intentional, re-run with -update and re-verify EXPERIMENTS.md", id)
+			}
+		})
+	}
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"math"
+
+	"memstream/internal/model"
+	"memstream/internal/units"
+)
+
+// relaxedPlan is a Theorem 2 evaluation under the relaxation of §5.1.1:
+// MEMS storage is unlimited and priced per byte, so the disk cycle T_disk
+// is free to grow. We choose the T that minimizes total buffering cost
+// (MEMS staging at C_mems per byte plus DRAM at C_dram per byte), which is
+// the operating point a cost-per-byte designer would pick.
+type relaxedPlan struct {
+	K         int
+	DiskCycle float64 // seconds
+	PerStream units.Bytes
+	TotalDRAM units.Bytes
+	MEMSBytes units.Bytes   // 2·N·B̄·T staged across the bank
+	TotalCost units.Dollars // staging + DRAM
+}
+
+// relaxedBufferPlan evaluates the relaxed Theorem 2 for the
+// bandwidth-minimal bank of at least two devices. It reports ok=false when
+// no bank within maxK has the bandwidth for the load.
+func relaxedBufferPlan(load model.StreamLoad, d, m model.DeviceSpec,
+	costs model.CostModel, maxK int) (relaxedPlan, bool) {
+
+	n := float64(load.N)
+	b := float64(load.BitRate)
+	rm := float64(m.Rate)
+
+	// Disk-side feasibility first (Eq 6).
+	rd := float64(d.Rate)
+	if n*b >= rd {
+		return relaxedPlan{}, false
+	}
+	tMin := n * d.Latency.Seconds() * rd / (rd - n*b)
+
+	// Bandwidth-minimal bank (Eq 7 waived by the relaxation).
+	k := 2
+	for ; k <= maxK; k++ {
+		if float64(k)*rm > 2*(n+float64(k)-1)*b {
+			break
+		}
+	}
+	if k > maxK {
+		return relaxedPlan{}, false
+	}
+	c := n * m.Latency.Seconds() * rm / (float64(k)*rm - 2*(n+float64(k)-1)*b)
+
+	slack := 1 + (2*float64(k)-2)/n
+	perByteMEMS := float64(costs.MEMSPerGB) / 1e9
+	perByteDRAM := float64(costs.DRAMPerGB) / 1e9
+	cost := func(t float64) float64 {
+		s := b * c * slack * t / (t - c)
+		return perByteMEMS*2*n*b*t + perByteDRAM*n*s
+	}
+
+	lo := math.Max(c*1.0001, tMin)
+	hi := lo * 1e6
+	// The objective is convex in T (linear + decreasing-convex), so golden
+	// section converges.
+	for i := 0; i < 200; i++ {
+		m1 := lo + (hi-lo)/3
+		m2 := hi - (hi-lo)/3
+		if cost(m1) < cost(m2) {
+			hi = m2
+		} else {
+			lo = m1
+		}
+	}
+	t := (lo + hi) / 2
+	s := b * c * slack * t / (t - c)
+	return relaxedPlan{
+		K:         k,
+		DiskCycle: t,
+		PerStream: units.Bytes(s),
+		TotalDRAM: units.Bytes(n * s),
+		MEMSBytes: units.Bytes(2 * n * b * t),
+		TotalCost: units.Dollars(cost(t)),
+	}, true
+}

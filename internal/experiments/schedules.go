@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"memstream/internal/model"
+	"memstream/internal/units"
+)
+
+func init() {
+	register("fig4", "Figure 4: MEMS IO scheduling (single device)", runFig4)
+	register("fig5", "Figure 5: IO scheduling for a MEMS bank (N=45, k=3)", runFig5)
+}
+
+// timeline renders a coarse Gantt row: busy intervals marked over a span.
+func timeline(label string, span time.Duration, busy [][2]time.Duration, mark byte) string {
+	const width = 72
+	row := []byte(strings.Repeat(".", width))
+	for _, iv := range busy {
+		a := int(float64(iv[0]) / float64(span) * width)
+		b := int(float64(iv[1]) / float64(span) * width)
+		if b <= a {
+			b = a + 1
+		}
+		for i := a; i < b && i < width; i++ {
+			row[i] = mark
+		}
+	}
+	return fmt.Sprintf("%-12s |%s|\n", label, string(row))
+}
+
+// runFig4 reconstructs the paper's Figure 4: the activity of the disk
+// head, the MEMS tips and the DRAM during one MEMS IO cycle, for N=10
+// streams buffered by a single MEMS device. The schedule is derived from
+// Theorem 2's cycle structure (M disk transfers and N DRAM transfers per
+// MEMS IO cycle).
+func runFig4() (Result, error) {
+	return renderSchedule(10, 1)
+}
+
+// runFig5 reconstructs Figure 5: the same schedule for a bank of k=3
+// devices serving N=45 streams — each disk IO routes wholly to one device
+// while 15 DRAM transfers occur per device per cycle.
+func runFig5() (Result, error) {
+	return renderSchedule(45, 3)
+}
+
+func renderSchedule(n, k int) (Result, error) {
+	d := paperDisk()
+	m := paperMEMS()
+	cfg := model.BufferConfig{
+		Load: model.StreamLoad{N: n, BitRate: 1 * units.MBPS},
+		Disk: d, MEMS: m, K: k, SizePerDevice: g3Capacity,
+	}
+	plan, err := model.BufferPlan(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	// Render one MEMS IO cycle. Within it: M disk transfers of S_disk-mems
+	// and N DRAM transfers of B̄·T_mems spread across the k devices.
+	span := plan.MEMSCycle
+	diskXfer := plan.DiskIOSize.Duration(d.Rate)
+	perDiskIO := d.Latency + diskXfer
+	var diskBusy [][2]time.Duration
+	at := time.Duration(0)
+	for i := 0; i < plan.M; i++ {
+		end := at + perDiskIO
+		if end > span {
+			end = span
+		}
+		diskBusy = append(diskBusy, [2]time.Duration{at, end})
+		at = end + span/time.Duration(4*plan.M+1)
+	}
+
+	drain := units.BytesIn(cfg.Load.BitRate, plan.MEMSCycle)
+	perDrain := m.Latency + drain.Duration(m.Rate)
+	perStage := m.Latency + plan.DiskIOSize.Duration(m.Rate)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "One MEMS IO cycle: N=%d streams, k=%d device(s), M=%d disk transfers\n",
+		n, k, plan.M)
+	fmt.Fprintf(&b, "T_disk=%v  T_mems=%v  S_disk-mems=%v  DRAM transfer=%v\n\n",
+		plan.DiskCycle.Round(time.Millisecond), plan.MEMSCycle.Round(time.Millisecond),
+		plan.DiskIOSize, drain)
+	b.WriteString(timeline("Disk head", span, diskBusy, '#'))
+
+	perDev := n / k
+	for dev := 0; dev < k; dev++ {
+		var busy [][2]time.Duration
+		at := time.Duration(0)
+		// Stage writes for this device's share of the M disk transfers.
+		stages := plan.M / k
+		if dev < plan.M%k {
+			stages++
+		}
+		for i := 0; i < stages; i++ {
+			end := at + perStage
+			if end > span {
+				end = span
+			}
+			busy = append(busy, [2]time.Duration{at, end})
+			at = end + span/time.Duration(2*(perDev+stages))
+		}
+		// DRAM-side reads for its streams.
+		for i := 0; i < perDev; i++ {
+			end := at + perDrain
+			if end > span {
+				end = span
+			}
+			busy = append(busy, [2]time.Duration{at, end})
+			at = end + span/time.Duration(2*(perDev+stages))
+			if at >= span {
+				break
+			}
+		}
+		b.WriteString(timeline(fmt.Sprintf("MEMS %d", dev+1), span, busy, '='))
+	}
+	fmt.Fprintf(&b, "\n# disk transfer into MEMS (S_disk-mems)   = DRAM transfer / stage on MEMS\n")
+	fmt.Fprintf(&b, "Each disk IO routes wholly to one device; streams are assigned round-robin\n")
+	fmt.Fprintf(&b, "so every k-th disk IO lands on the same device (§3.1.2).\n")
+	return Result{Output: b.String()}, nil
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"memstream/internal/model"
+	"memstream/internal/plot"
+	"memstream/internal/units"
+)
+
+func init() {
+	register("sens", "Sensitivity study: cost and bandwidth (paper footnote 2)", runSensitivity)
+}
+
+// runSensitivity reproduces the paper's footnote-2 analysis: the MEMS
+// buffering conclusion "holds true as long as the MEMS device is an order
+// of magnitude cheaper than DRAM and provides streaming bandwidths
+// comparable to or greater than those of disk-drives." We sweep the
+// DRAM/MEMS price ratio and the MEMS bandwidth (relative to the disk's)
+// at the off-the-shelf DivX operating point and report the cost
+// reduction; the boundary of the positive region is the claim.
+func runSensitivity() (Result, error) {
+	d := paperDisk()
+	bitRate := 100 * units.KBPS
+	n := model.MaxStreamsDirect(bitRate, d, shelfDRAMCap)
+	if n < 1 {
+		return Result{}, fmt.Errorf("baseline infeasible")
+	}
+	load := model.StreamLoad{N: n, BitRate: bitRate}
+	direct, err := model.DiskDirect(load, d)
+	if err != nil {
+		return Result{}, err
+	}
+
+	priceRatios := []float64{2, 5, 10, 20, 50}
+	bwFactors := []float64{0.25, 0.5, 1, 2}
+
+	t := &plot.Table{
+		Title: fmt.Sprintf("Buffering-cost reduction (%%), DivX load N=%d, 2-device bank", n),
+		Headers: append([]string{"MEMS BW / disk BW"}, func() []string {
+			h := make([]string, len(priceRatios))
+			for i, r := range priceRatios {
+				h[i] = fmt.Sprintf("DRAM/MEMS=%gx", r)
+			}
+			return h
+		}()...),
+	}
+	for _, bw := range bwFactors {
+		m := paperMEMS()
+		m.Rate = units.ByteRate(bw * float64(d.Rate))
+		row := []string{fmt.Sprintf("%.2gx", bw)}
+		for _, pr := range priceRatios {
+			costs := model.CostModel{
+				DRAMPerGB: 20,
+				MEMSPerGB: units.Dollars(20 / pr),
+				MEMSSize:  10 * units.GB,
+			}
+			cell := "infeasible"
+			cfg := model.BufferConfig{Load: load, Disk: d, MEMS: m, K: shelfK, SizePerDevice: 10 * units.GB}
+			if plan, err := model.BufferPlan(cfg); err == nil {
+				without := costs.DRAMCost(direct.TotalDRAM)
+				with := costs.BankCost(shelfK) + costs.DRAMCost(plan.TotalDRAM)
+				cell = fmt.Sprintf("%+.0f%%", 100*(1-float64(with)/float64(without)))
+			}
+			row = append(row, cell)
+		}
+		t.AddRow(row...)
+	}
+	out := t.Render() +
+		"\nFootnote 2's claim: savings stay strongly positive while MEMS is ~an\n" +
+		"order of magnitude cheaper than DRAM (≥10x) and its bandwidth is\n" +
+		"comparable to or above the disk's (≥1x); they erode or vanish outside\n" +
+		"that region (low bandwidth makes the 2x staging requirement binding;\n" +
+		"low price ratios make the displaced DRAM too cheap to matter).\n"
+	return Result{Output: out}, nil
+}

@@ -1,0 +1,262 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"memstream/internal/units"
+)
+
+// CachePolicy selects how cached content is spread over a k-device bank
+// (paper §3.2).
+type CachePolicy uint8
+
+// Cache-management policies.
+const (
+	// Striped bit/byte-stripes every title across all k devices, accessed
+	// in lock-step: k× throughput, unchanged latency, full k·Size_mems
+	// capacity (Theorem 3 / Corollary 3).
+	Striped CachePolicy = iota
+	// Replicated stores a full copy on every device: k× throughput,
+	// ~k× lower effective latency, but only Size_mems of distinct content
+	// (Theorem 4 / Corollary 4).
+	Replicated
+)
+
+// String names the policy.
+func (p CachePolicy) String() string {
+	switch p {
+	case Striped:
+		return "striped"
+	case Replicated:
+		return "replicated"
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// HitRatio evaluates Eq 11: under an X:Y popularity distribution, a cache
+// holding the most popular fraction p of the content sees hit ratio
+//
+//	h = (p/X)·Y                         if p ≤ X
+//	h = Y + ((p−X)/(100−X))·(100−Y)     otherwise
+//
+// with X, Y in percent and p in [0,1]. The result is in [0,1].
+func HitRatio(x, y, p float64) (float64, error) {
+	if x <= 0 || x > 100 || y <= 0 || y > 100 {
+		return 0, fmt.Errorf("model: X:Y = %g:%g out of range", x, y)
+	}
+	if p < 0 {
+		return 0, fmt.Errorf("model: cached fraction %g negative", p)
+	}
+	if p > 1 {
+		p = 1
+	}
+	pPct := p * 100
+	if x >= pPct {
+		return (pPct / x) * (y / 100), nil
+	}
+	h := y/100 + (pPct-x)/(100-x)*((100-y)/100)
+	if h > 1 {
+		h = 1
+	}
+	return h, nil
+}
+
+// StripedCache computes Theorem 3: the per-stream DRAM buffer when n
+// streams are serviced from a striped k-device MEMS cache:
+//
+//	S_mems-dram = n·L̄_mems·(k·R_mems)·B̄ / (k·R_mems − n·B̄)   (Eq 12)
+//
+// The bank behaves as one device with k× the throughput and unchanged
+// latency (Corollary 3).
+func StripedCache(n int, k int, bitRate units.ByteRate, mems DeviceSpec) (DirectPlan, error) {
+	if err := validateCacheArgs(n, k, bitRate, mems); err != nil {
+		return DirectPlan{}, err
+	}
+	bank := DeviceSpec{
+		Rate:    units.ByteRate(float64(k) * float64(mems.Rate)),
+		Latency: mems.Latency,
+	}
+	return DiskDirect(StreamLoad{N: n, BitRate: bitRate}, bank)
+}
+
+// ReplicatedCache computes Theorem 4: the per-stream DRAM buffer when n
+// streams are serviced from a replicated k-device MEMS cache. Each device
+// serves ⌈n/k⌉ streams independently, so
+//
+//	S_mems-dram = ((n+k−1)/k)·L̄_mems·(k·R_mems)·B̄ / (k·R_mems − (n+k−1)·B̄)   (Eq 13)
+//
+// For n ≫ k the bank behaves as one device with k× the throughput and
+// latency/k (Corollary 4).
+func ReplicatedCache(n int, k int, bitRate units.ByteRate, mems DeviceSpec) (DirectPlan, error) {
+	if err := validateCacheArgs(n, k, bitRate, mems); err != nil {
+		return DirectPlan{}, err
+	}
+	m := float64(n+k-1) / float64(k) // ⌈n/k⌉ bound used by the paper
+	kr := float64(k) * float64(mems.Rate)
+	agg := m * float64(k) * float64(bitRate)
+	if agg >= kr {
+		return DirectPlan{}, fmt.Errorf("%w: replicated cache needs k·R_mems > (n+k−1)·B̄ (have %v ≤ %v)",
+			ErrInfeasible, units.ByteRate(kr), units.ByteRate(agg))
+	}
+	t := m * mems.Latency.Seconds() * kr / (kr - float64(n+k-1)*float64(bitRate))
+	s := units.Bytes(float64(bitRate) * t)
+	return DirectPlan{
+		Cycle:     units.Seconds(t),
+		PerStream: s,
+		TotalDRAM: s.Mul(float64(n)),
+		IOSize:    s,
+	}, nil
+}
+
+func validateCacheArgs(n, k int, bitRate units.ByteRate, mems DeviceSpec) error {
+	if n <= 0 {
+		return fmt.Errorf("model: need at least one cached stream, got %d", n)
+	}
+	if k <= 0 {
+		return fmt.Errorf("model: need at least one MEMS device, got %d", k)
+	}
+	if bitRate <= 0 {
+		return fmt.Errorf("model: non-positive bit-rate %v", bitRate)
+	}
+	return mems.Validate()
+}
+
+// CacheConfig describes a server with a k-device MEMS content cache.
+type CacheConfig struct {
+	Load          StreamLoad
+	Disk          DeviceSpec
+	MEMS          DeviceSpec
+	K             int
+	Policy        CachePolicy
+	SizePerDevice units.Bytes // Size_mems
+	ContentSize   units.Bytes // Size_disk: total catalog footprint
+	X, Y          float64     // popularity distribution
+}
+
+// Validate checks the configuration.
+func (c CacheConfig) Validate() error {
+	if err := c.Load.Validate(); err != nil {
+		return err
+	}
+	if err := c.Disk.Validate(); err != nil {
+		return err
+	}
+	if err := c.MEMS.Validate(); err != nil {
+		return err
+	}
+	if c.K <= 0 {
+		return fmt.Errorf("model: need at least one MEMS device, got %d", c.K)
+	}
+	if c.SizePerDevice <= 0 || c.ContentSize <= 0 {
+		return fmt.Errorf("model: non-positive capacity (mems %v, content %v)",
+			c.SizePerDevice, c.ContentSize)
+	}
+	if _, err := HitRatio(c.X, c.Y, 0); err != nil {
+		return err
+	}
+	return nil
+}
+
+// CachedFraction returns p, the fraction of the catalog the bank can hold
+// under the policy: striping pools capacity, replication stores one copy's
+// worth (paper §4.2).
+func (c CacheConfig) CachedFraction() float64 {
+	var capacity units.Bytes
+	if c.Policy == Striped {
+		capacity = c.SizePerDevice.Mul(float64(c.K))
+	} else {
+		capacity = c.SizePerDevice
+	}
+	p := float64(capacity) / float64(c.ContentSize)
+	return math.Min(p, 1)
+}
+
+// CachedPlan is the sizing of a cache-equipped server.
+type CachedPlan struct {
+	HitRatio  float64     // h (Eq 11)
+	FromCache int         // n = round(h·N)
+	FromDisk  int         // N − n
+	CacheSide DirectPlan  // per-stream buffer for cache-served streams (Eq 12/13)
+	DiskSide  DirectPlan  // per-stream buffer for disk-served streams (Eq 10)
+	TotalDRAM units.Bytes // combined DRAM requirement
+}
+
+// CachePlan sizes a cache-equipped server: it applies Eq 11 for the hit
+// ratio, then Theorem 3 or 4 for the cache-served streams and Eq 10
+// (Theorem 1 with (1−h)·N streams) for the disk-served remainder.
+func CachePlan(cfg CacheConfig) (CachedPlan, error) {
+	if err := cfg.Validate(); err != nil {
+		return CachedPlan{}, err
+	}
+	h, err := HitRatio(cfg.X, cfg.Y, cfg.CachedFraction())
+	if err != nil {
+		return CachedPlan{}, err
+	}
+	return CachePlanWithHit(cfg, h)
+}
+
+// CachePlanWithHit is CachePlan with an externally supplied hit ratio —
+// for popularity models other than X:Y (e.g. an empirical Zipf catalog),
+// where h comes from the catalog's weights rather than Eq 11. The X/Y
+// fields of cfg are ignored apart from validation defaults.
+func CachePlanWithHit(cfg CacheConfig, h float64) (CachedPlan, error) {
+	if cfg.X == 0 && cfg.Y == 0 {
+		cfg.X, cfg.Y = 50, 50 // placeholders; the supplied h governs
+	}
+	if err := cfg.Validate(); err != nil {
+		return CachedPlan{}, err
+	}
+	if h < 0 || h > 1 {
+		return CachedPlan{}, fmt.Errorf("model: hit ratio %g outside [0,1]", h)
+	}
+	n := int(math.Round(h * float64(cfg.Load.N)))
+	if n > cfg.Load.N {
+		n = cfg.Load.N
+	}
+	nd := cfg.Load.N - n
+
+	var plan CachedPlan
+	plan.HitRatio = h
+	plan.FromCache = n
+	plan.FromDisk = nd
+
+	if n > 0 {
+		var cp DirectPlan
+		var err error
+		if cfg.Policy == Striped {
+			cp, err = StripedCache(n, cfg.K, cfg.Load.BitRate, cfg.MEMS)
+		} else {
+			cp, err = ReplicatedCache(n, cfg.K, cfg.Load.BitRate, cfg.MEMS)
+		}
+		if err != nil {
+			return CachedPlan{}, fmt.Errorf("cache side: %w", err)
+		}
+		plan.CacheSide = cp
+	}
+	if nd > 0 {
+		dp, err := DiskDirect(StreamLoad{N: nd, BitRate: cfg.Load.BitRate}, cfg.Disk)
+		if err != nil {
+			return CachedPlan{}, fmt.Errorf("disk side: %w", err)
+		}
+		plan.DiskSide = dp
+	}
+	plan.TotalDRAM = plan.CacheSide.TotalDRAM + plan.DiskSide.TotalDRAM
+	return plan, nil
+}
+
+// EffectiveBankSpec returns the single-device equivalent of a k-bank under
+// the policy, per Corollaries 2–4: throughput always scales by k; latency
+// is unchanged for striping and divides by k for replication (and for the
+// round-robin buffer bank of Corollary 2).
+func EffectiveBankSpec(mems DeviceSpec, k int, policy CachePolicy) DeviceSpec {
+	out := DeviceSpec{
+		Rate:    units.ByteRate(float64(k) * float64(mems.Rate)),
+		Latency: mems.Latency,
+	}
+	if policy == Replicated {
+		out.Latency = time.Duration(float64(mems.Latency) / float64(k))
+	}
+	return out
+}

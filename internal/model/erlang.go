@@ -1,0 +1,46 @@
+package model
+
+import "fmt"
+
+// ErlangB returns the Erlang-B blocking probability for offered load a
+// (erlangs) on n servers, via the standard numerically stable recurrence
+//
+//	B(0) = 1;  B(k) = a·B(k−1) / (k + a·B(k−1))
+//
+// In this library "servers" are admission slots: the capacity N a plan
+// supports. The dynamics experiment's simulated blocking converges to
+// this closed form, tying the paper's throughput results to the
+// teletraffic capacity view.
+func ErlangB(a float64, n int) (float64, error) {
+	if a < 0 {
+		return 0, fmt.Errorf("model: negative offered load %g", a)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("model: negative server count %d", n)
+	}
+	b := 1.0
+	for k := 1; k <= n; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	return b, nil
+}
+
+// ErlangCapacity returns the fewest admission slots keeping Erlang-B
+// blocking at or below target for offered load a. It returns an error for
+// unattainable targets.
+func ErlangCapacity(a, target float64) (int, error) {
+	if target <= 0 || target >= 1 {
+		return 0, fmt.Errorf("model: blocking target %g outside (0,1)", target)
+	}
+	if a < 0 {
+		return 0, fmt.Errorf("model: negative offered load %g", a)
+	}
+	b := 1.0
+	for n := 1; n <= 1<<22; n++ {
+		b = a * b / (float64(n) + a*b)
+		if b <= target {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("model: no capacity below 2^22 meets target %g at load %g", target, a)
+}

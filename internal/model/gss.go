@@ -1,0 +1,103 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"memstream/internal/units"
+)
+
+// GSSPlan sizes a server under Grouped Sweeping Scheduling (Yu, Chen and
+// Kandlur — the paper's citation [25] for the "simple resource trade-off"
+// class of schedulers). GSS splits the N streams into g groups; each
+// group is serviced once per cycle with a seek-optimized sweep, so the
+// scheduler trades buffer space against seek overhead:
+//
+//   - g = N degenerates to per-stream round-robin (minimum buffer,
+//     maximum seeking);
+//   - g = 1 degenerates to a full SCAN over all streams (maximum seek
+//     amortization, maximum buffer).
+//
+// A stream serviced at the start of its group's slot in one cycle may be
+// serviced at the end of it in the next, so the per-stream buffer is
+// S = B̄·T·(1 + 1/g) instead of Theorem 1's B̄·T.
+type GSSPlan struct {
+	Groups     int
+	Cycle      time.Duration // T
+	GroupSlot  time.Duration // T/g
+	PerStream  units.Bytes   // B̄·T·(1+1/g)
+	TotalDRAM  units.Bytes
+	SweepBatch int // streams swept together: ⌈N/g⌉
+}
+
+// SweepLatency estimates the per-IO positioning cost when b requests are
+// serviced in one elevator sweep over a device with random-access latency
+// avg and minimum (track-to-track) latency min: consecutive sweep targets
+// are ~1/(b+1) of the span apart, and positioning shrinks toward min as
+// the batch grows. The interpolation matches the square-root seek law
+// used by the device models.
+func SweepLatency(avg, min time.Duration, b int) time.Duration {
+	if b <= 1 {
+		return avg
+	}
+	frac := math.Sqrt(1 / float64(b+1)) // sqrt law over 1/(b+1) span
+	l := float64(min) + (float64(avg)-float64(min))*frac
+	return time.Duration(l)
+}
+
+// GSS computes the GSS plan for g groups. The cycle satisfies the same
+// feasibility recurrence as Theorem 1 but with the batch-dependent sweep
+// latency: N·(L̄(⌈N/g⌉) + B̄·T/R) ≤ T.
+func GSS(load StreamLoad, dev DeviceSpec, minLatency time.Duration, g int) (GSSPlan, error) {
+	if err := load.Validate(); err != nil {
+		return GSSPlan{}, err
+	}
+	if err := dev.Validate(); err != nil {
+		return GSSPlan{}, err
+	}
+	if g < 1 || g > load.N {
+		return GSSPlan{}, fmt.Errorf("model: GSS groups g=%d outside [1, N=%d]", g, load.N)
+	}
+	if minLatency < 0 || minLatency > dev.Latency {
+		return GSSPlan{}, fmt.Errorf("model: GSS minimum latency %v outside [0, %v]",
+			minLatency, dev.Latency)
+	}
+	batch := (load.N + g - 1) / g
+	eff := DeviceSpec{Rate: dev.Rate, Latency: SweepLatency(dev.Latency, minLatency, batch)}
+	t, _, err := cycleAndBuffer(float64(load.N), load.BitRate, eff)
+	if err != nil {
+		return GSSPlan{}, err
+	}
+	s := units.Bytes(float64(load.BitRate) * t.Seconds() * (1 + 1/float64(g)))
+	return GSSPlan{
+		Groups:     g,
+		Cycle:      t,
+		GroupSlot:  t / time.Duration(g),
+		PerStream:  s,
+		TotalDRAM:  s.Mul(float64(load.N)),
+		SweepBatch: batch,
+	}, nil
+}
+
+// OptimalGSS searches g ∈ [1, N] for the plan minimizing total DRAM. The
+// trade-off is unimodal in practice (buffer term falls in g, seek term
+// rises), but we scan exhaustively in O(N) — N is bounded by the stream
+// population, and each probe is O(1).
+func OptimalGSS(load StreamLoad, dev DeviceSpec, minLatency time.Duration) (GSSPlan, error) {
+	var best GSSPlan
+	found := false
+	for g := 1; g <= load.N; g++ {
+		p, err := GSS(load, dev, minLatency, g)
+		if err != nil {
+			continue
+		}
+		if !found || p.TotalDRAM < best.TotalDRAM {
+			best, found = p, true
+		}
+	}
+	if !found {
+		return GSSPlan{}, fmt.Errorf("%w: no GSS group count feasible", ErrInfeasible)
+	}
+	return best, nil
+}

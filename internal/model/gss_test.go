@@ -1,0 +1,143 @@
+package model
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"memstream/internal/units"
+)
+
+func minSeek() time.Duration { return units.Milliseconds(0.3 + 1.5) } // track seek + rotation
+
+func TestSweepLatency(t *testing.T) {
+	avg, min := units.Milliseconds(4.3), minSeek()
+	if got := SweepLatency(avg, min, 1); got != avg {
+		t.Errorf("batch 1 = %v, want avg", got)
+	}
+	big := SweepLatency(avg, min, 1000)
+	if big < min || big > avg {
+		t.Errorf("batch 1000 = %v outside [min, avg]", big)
+	}
+	if d := big - min; d > units.Milliseconds(0.2) {
+		t.Errorf("large batches should approach min: got %v", big)
+	}
+	// Monotone decreasing in batch size.
+	prev := avg
+	for _, b := range []int{2, 4, 16, 64, 256} {
+		cur := SweepLatency(avg, min, b)
+		if cur > prev {
+			t.Errorf("SweepLatency not monotone at batch %d", b)
+		}
+		prev = cur
+	}
+}
+
+func TestGSSDegenerateCases(t *testing.T) {
+	load := StreamLoad{N: 100, BitRate: 1 * units.MBPS}
+	d := futureDiskSpec()
+
+	// g = N: every stream in its own group — per-IO latency is the full
+	// random-access average, buffer factor (1 + 1/N).
+	rr, err := GSS(load, d, minSeek(), load.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th1, _ := DiskDirect(load, d)
+	if rr.Cycle != th1.Cycle {
+		t.Errorf("g=N cycle %v != Theorem 1 cycle %v", rr.Cycle, th1.Cycle)
+	}
+	// g = 1: one big sweep — shortest cycle, biggest buffer factor (2x).
+	scan, err := GSS(load, d, minSeek(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scan.Cycle >= rr.Cycle {
+		t.Errorf("g=1 cycle %v not below g=N cycle %v", scan.Cycle, rr.Cycle)
+	}
+	wantFactor := 2.0
+	gotFactor := float64(scan.PerStream) / (float64(load.BitRate) * scan.Cycle.Seconds())
+	if gotFactor < wantFactor-1e-9 || gotFactor > wantFactor+1e-9 {
+		t.Errorf("g=1 buffer factor = %v, want 2", gotFactor)
+	}
+}
+
+func TestGSSValidation(t *testing.T) {
+	load := StreamLoad{N: 10, BitRate: units.MBPS}
+	d := futureDiskSpec()
+	if _, err := GSS(load, d, minSeek(), 0); err == nil {
+		t.Error("g=0 accepted")
+	}
+	if _, err := GSS(load, d, minSeek(), 11); err == nil {
+		t.Error("g>N accepted")
+	}
+	if _, err := GSS(load, d, d.Latency+time.Second, 2); err == nil {
+		t.Error("min latency above avg accepted")
+	}
+	if _, err := GSS(StreamLoad{N: 400, BitRate: units.MBPS}, d, minSeek(), 4); !errors.Is(err, ErrInfeasible) {
+		t.Error("overload not infeasible")
+	}
+}
+
+func TestOptimalGSSBeatsBothExtremes(t *testing.T) {
+	// The whole point of GSS: an interior g beats both degenerate forms
+	// when latency amortization and buffer growth pull against each other.
+	load := StreamLoad{N: 500, BitRate: 100 * units.KBPS}
+	d := futureDiskSpec()
+	best, err := OptimalGSS(load, d, minSeek())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan, _ := GSS(load, d, minSeek(), 1)
+	rr, _ := GSS(load, d, minSeek(), load.N)
+	if best.TotalDRAM > scan.TotalDRAM || best.TotalDRAM > rr.TotalDRAM {
+		t.Errorf("optimal (g=%d, %v) worse than extremes (%v / %v)",
+			best.Groups, best.TotalDRAM, scan.TotalDRAM, rr.TotalDRAM)
+	}
+	if best.Groups <= 1 || best.Groups >= load.N {
+		t.Logf("optimal g = %d (boundary optimum is possible but unusual)", best.Groups)
+	}
+}
+
+func TestGSSRelatesToMEMSBuffering(t *testing.T) {
+	// The paper positions MEMS buffering against scheduler-level
+	// trade-offs: even the optimal GSS on the bare disk needs far more
+	// DRAM than a 2-device MEMS buffer at a medium load.
+	load := StreamLoad{N: 1000, BitRate: 100 * units.KBPS}
+	d := futureDiskSpec()
+	gss, err := OptimalGSS(load, d, minSeek())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := BufferConfig{Load: load, Disk: d, MEMS: g3Spec(), K: 2, SizePerDevice: 10 * units.GB}
+	buffered, err := BufferPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(buffered.TotalDRAM) > 0.5*float64(gss.TotalDRAM) {
+		t.Errorf("MEMS buffer (%v) should beat optimal GSS (%v) by >2x",
+			buffered.TotalDRAM, gss.TotalDRAM)
+	}
+}
+
+// Property: the GSS group slot times the group count is the cycle, and
+// the buffer factor is exactly (1 + 1/g).
+func TestGSSInvariantsProperty(t *testing.T) {
+	load := StreamLoad{N: 200, BitRate: 100 * units.KBPS}
+	d := futureDiskSpec()
+	f := func(gg uint8) bool {
+		g := int(gg)%load.N + 1
+		p, err := GSS(load, d, minSeek(), g)
+		if err != nil {
+			return true
+		}
+		slotOK := p.GroupSlot == p.Cycle/time.Duration(g)
+		factor := float64(p.PerStream) / (float64(load.BitRate) * p.Cycle.Seconds())
+		want := 1 + 1/float64(g)
+		return slotOK && factor > want-1e-9 && factor < want+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,88 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// BarGroup is one cluster of bars sharing an X label (e.g. one popularity
+// distribution in the paper's Figure 9).
+type BarGroup struct {
+	Label  string
+	Values []float64
+}
+
+// BarChart renders grouped horizontal bars — the terminal-friendly
+// equivalent of the paper's clustered vertical bar figures.
+type BarChart struct {
+	Title  string
+	Series []string // one name per bar within a group
+	Groups []BarGroup
+	Width  int // bar area width in characters (default 50)
+}
+
+// Render draws the chart.
+func (b *BarChart) Render() string {
+	var sb strings.Builder
+	if b.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", b.Title)
+	}
+	if len(b.Groups) == 0 {
+		sb.WriteString("(no data)\n")
+		return sb.String()
+	}
+	width := b.Width
+	if width <= 0 {
+		width = 50
+	}
+	var max float64
+	for _, g := range b.Groups {
+		for _, v := range g.Values {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+	labelW := 0
+	for _, g := range b.Groups {
+		if len(g.Label) > labelW {
+			labelW = len(g.Label)
+		}
+	}
+	nameW := 0
+	for _, s := range b.Series {
+		if len(s) > nameW {
+			nameW = len(s)
+		}
+	}
+	for gi, g := range b.Groups {
+		if gi > 0 {
+			sb.WriteByte('\n')
+		}
+		for vi, v := range g.Values {
+			label := ""
+			if vi == 0 {
+				label = g.Label
+			}
+			name := ""
+			if vi < len(b.Series) {
+				name = b.Series[vi]
+			}
+			bars := int(math.Round(v / max * float64(width)))
+			if v > 0 && bars == 0 {
+				bars = 1
+			}
+			if bars < 0 {
+				bars = 0
+			}
+			fmt.Fprintf(&sb, "%-*s %-*s |%s %s\n",
+				labelW, label, nameW, name,
+				strings.Repeat("█", bars), fmtAxis(v))
+		}
+	}
+	return sb.String()
+}

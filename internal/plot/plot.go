@@ -1,0 +1,347 @@
+// Package plot renders the experiment results as terminal graphics: ASCII
+// line charts with optional logarithmic axes (Figures 2, 6, 8), contour
+// region maps (Figure 7b), grouped-bar summaries (Figure 9) and aligned
+// tables (Tables 1–3), plus CSV export for external tooling. It stands in
+// for the paper's gnuplot pipeline.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one sample of a series.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named line on a chart.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Chart is an ASCII line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogX   bool
+	LogY   bool
+	Width  int // plot area columns (default 72)
+	Height int // plot area rows (default 20)
+	Series []Series
+}
+
+// markers distinguish series within the plot area.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Add appends a series.
+func (c *Chart) Add(name string, pts []Point) {
+	c.Series = append(c.Series, Series{Name: name, Points: pts})
+}
+
+func (c *Chart) dims() (w, h int) {
+	w, h = c.Width, c.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 20
+	}
+	return w, h
+}
+
+// transform maps a value onto an axis, honoring log scaling.
+func transform(v float64, log bool) (float64, bool) {
+	if !log {
+		return v, true
+	}
+	if v <= 0 {
+		return 0, false
+	}
+	return math.Log10(v), true
+}
+
+// Render draws the chart.
+func (c *Chart) Render() string {
+	w, h := c.dims()
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range c.Series {
+		for _, p := range s.Points {
+			x, okx := transform(p.X, c.LogX)
+			y, oky := transform(p.Y, c.LogY)
+			if !okx || !oky || math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			any = true
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if !any {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range c.Series {
+		mark := markers[si%len(markers)]
+		for _, p := range s.Points {
+			x, okx := transform(p.X, c.LogX)
+			y, oky := transform(p.Y, c.LogY)
+			if !okx || !oky || math.IsNaN(x) || math.IsNaN(y) {
+				continue
+			}
+			col := int((x - minX) / (maxX - minX) * float64(w-1))
+			row := h - 1 - int((y-minY)/(maxY-minY)*float64(h-1))
+			if col >= 0 && col < w && row >= 0 && row < h {
+				grid[row][col] = mark
+			}
+		}
+	}
+
+	inv := func(v float64, log bool) float64 {
+		if log {
+			return math.Pow(10, v)
+		}
+		return v
+	}
+	yTop, yBot := inv(maxY, c.LogY), inv(minY, c.LogY)
+	label := func(v float64) string { return fmtAxis(v) }
+
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, "%s\n", c.YLabel)
+	}
+	for i, row := range grid {
+		prefix := strings.Repeat(" ", 10)
+		switch i {
+		case 0:
+			prefix = fmt.Sprintf("%9s ", label(yTop))
+		case h - 1:
+			prefix = fmt.Sprintf("%9s ", label(yBot))
+		case h / 2:
+			prefix = fmt.Sprintf("%9s ", label(inv((minY+maxY)/2, c.LogY)))
+		}
+		fmt.Fprintf(&b, "%s|%s\n", prefix, string(row))
+	}
+	fmt.Fprintf(&b, "%s+%s\n", strings.Repeat(" ", 9), strings.Repeat("-", w))
+	xLeft, xRight := inv(minX, c.LogX), inv(maxX, c.LogX)
+	gap := w - len(label(xLeft)) - len(label(xRight))
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&b, "%s%s%s%s\n", strings.Repeat(" ", 10),
+		label(xLeft), strings.Repeat(" ", gap), label(xRight))
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, "%s%s\n", strings.Repeat(" ", 10), c.XLabel)
+	}
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+// fmtAxis renders an axis value compactly (1.2k, 3.4M, 10G).
+func fmtAxis(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a >= 1e12:
+		return fmt.Sprintf("%.3gT", v/1e12)
+	case a >= 1e9:
+		return fmt.Sprintf("%.3gG", v/1e9)
+	case a >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case a >= 1e3:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	case a == 0:
+		return "0"
+	case a < 0.01:
+		return fmt.Sprintf("%.2g", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// Contour renders a 2D scalar field as banded regions, like the paper's
+// Figure 7(b): each cell is drawn with the glyph of the highest threshold
+// it clears.
+type Contour struct {
+	Title      string
+	XLabel     string
+	YLabel     string
+	XTicks     []string // one per column
+	YTicks     []string // one per row (top to bottom)
+	Thresholds []float64
+	Glyphs     []byte // len(Thresholds)+1 glyphs, lowest band first
+	Cells      [][]float64
+}
+
+// Render draws the contour map.
+func (c *Contour) Render() string {
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if len(c.Cells) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	glyphs := c.Glyphs
+	if len(glyphs) != len(c.Thresholds)+1 {
+		glyphs = []byte(" .:=#%@&")[:len(c.Thresholds)+1]
+	}
+	tickW := 0
+	for _, t := range c.YTicks {
+		if len(t) > tickW {
+			tickW = len(t)
+		}
+	}
+	for i, row := range c.Cells {
+		tick := ""
+		if i < len(c.YTicks) {
+			tick = c.YTicks[i]
+		}
+		fmt.Fprintf(&b, "%*s |", tickW, tick)
+		for _, v := range row {
+			g := glyphs[0]
+			for ti, th := range c.Thresholds {
+				if v >= th {
+					g = glyphs[ti+1]
+				}
+			}
+			b.WriteByte(g)
+			b.WriteByte(g) // double width for aspect ratio
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%*s +%s\n", tickW, "", strings.Repeat("-", 2*len(c.Cells[0])))
+	if len(c.XTicks) > 0 {
+		fmt.Fprintf(&b, "%*s  %s\n", tickW, "", strings.Join(c.XTicks, " "))
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, "%*s  x: %s\n", tickW, "", c.XLabel)
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, "%*s  y: %s\n", tickW, "", c.YLabel)
+	}
+	for i, th := range c.Thresholds {
+		fmt.Fprintf(&b, "  %c ≥ %g\n", glyphs[i+1], th)
+	}
+	return b.String()
+}
+
+// Table renders aligned text tables.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render draws the table.
+func (t *Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	if cols == 0 {
+		return b.String()
+	}
+	width := make([]int, cols)
+	measure := func(cells []string) {
+		for i, c := range cells {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	writeRow := func(cells []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			fmt.Fprintf(&b, "| %-*s ", width[i], cell)
+		}
+		b.WriteString("|\n")
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		for i := 0; i < cols; i++ {
+			fmt.Fprintf(&b, "|%s", strings.Repeat("-", width[i]+2))
+		}
+		b.WriteString("|\n")
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// CSV renders series as a wide CSV: the union of X values in the first
+// column, one column per series (empty cells where a series lacks that X).
+func CSV(series []Series) string {
+	xs := map[float64]bool{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	var b strings.Builder
+	b.WriteString("x")
+	for _, s := range series {
+		fmt.Fprintf(&b, ",%s", strings.ReplaceAll(s.Name, ",", ";"))
+	}
+	b.WriteByte('\n')
+	for _, x := range sorted {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range series {
+			cell := ""
+			for _, p := range s.Points {
+				if p.X == x {
+					cell = fmt.Sprintf("%g", p.Y)
+					break
+				}
+			}
+			fmt.Fprintf(&b, ",%s", cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,261 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestChartRenderBasics(t *testing.T) {
+	c := &Chart{Title: "demo", XLabel: "x", YLabel: "y"}
+	c.Add("linear", []Point{{1, 1}, {2, 2}, {3, 3}})
+	out := c.Render()
+	for _, want := range []string{"demo", "linear", "*", "x", "y"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	out := c.Render()
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("empty chart output: %q", out)
+	}
+	// A log chart whose every point is non-positive is also empty.
+	c2 := &Chart{LogY: true}
+	c2.Add("bad", []Point{{1, 0}, {2, -5}})
+	if !strings.Contains(c2.Render(), "(no data)") {
+		t.Error("log chart with non-positive values should be empty")
+	}
+}
+
+func TestChartLogAxes(t *testing.T) {
+	c := &Chart{LogX: true, LogY: true, Width: 40, Height: 10}
+	c.Add("s", []Point{{1, 1}, {10, 10}, {100, 100}, {1000, 1000}})
+	out := c.Render()
+	lines := strings.Split(out, "\n")
+	// With log-log axes the power series is a straight diagonal. Scanning
+	// rows top (largest Y) to bottom, marker columns strictly decrease.
+	lastCol := 1 << 30
+	count := 0
+	for _, line := range lines {
+		idx := strings.IndexByte(line, '*')
+		if idx < 0 || !strings.Contains(line, "|") {
+			continue
+		}
+		count++
+		if idx >= lastCol {
+			t.Errorf("log-log diagonal violated at column %d after %d", idx, lastCol)
+		}
+		lastCol = idx
+	}
+	if count != 4 {
+		t.Errorf("marker rows = %d, want 4", count)
+	}
+}
+
+func TestChartMultipleSeriesDistinctMarkers(t *testing.T) {
+	c := &Chart{Width: 30, Height: 8}
+	c.Add("a", []Point{{0, 0}, {1, 1}})
+	c.Add("b", []Point{{0, 1}, {1, 0}})
+	out := c.Render()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Errorf("markers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "+ b") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	c := &Chart{}
+	c.Add("flat", []Point{{1, 5}, {2, 5}})
+	out := c.Render()
+	if strings.Contains(out, "(no data)") {
+		t.Error("constant series should still render")
+	}
+}
+
+// Property: Render never panics and always terminates for arbitrary data.
+func TestChartRenderTotalProperty(t *testing.T) {
+	f := func(xs, ys []int16, logx, logy bool) bool {
+		n := len(xs)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		pts := make([]Point, n)
+		for i := 0; i < n; i++ {
+			pts[i] = Point{float64(xs[i]), float64(ys[i])}
+		}
+		c := &Chart{LogX: logx, LogY: logy, Width: 20, Height: 6}
+		c.Add("s", pts)
+		return len(c.Render()) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContourRender(t *testing.T) {
+	c := &Contour{
+		Title:      "regions",
+		Thresholds: []float64{25, 50, 75},
+		Glyphs:     []byte(" .+#"),
+		Cells: [][]float64{
+			{10, 30, 60, 90},
+			{20, 40, 70, 99},
+		},
+		XTicks: []string{"1", "2", "3", "4"},
+		YTicks: []string{"hi", "lo"},
+		XLabel: "ratio",
+		YLabel: "bitrate",
+	}
+	out := c.Render()
+	for _, want := range []string{"regions", "#", "+", ".", "hi", "lo", "ratio", "bitrate", "≥ 75"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("contour missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestContourEmptyAndDefaults(t *testing.T) {
+	c := &Contour{}
+	if !strings.Contains(c.Render(), "(no data)") {
+		t.Error("empty contour should say so")
+	}
+	// Mismatched glyphs fall back to defaults without panicking.
+	c2 := &Contour{Thresholds: []float64{50}, Cells: [][]float64{{10, 60}}}
+	if out := c2.Render(); out == "" {
+		t.Error("default-glyph contour empty")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "Table 1", Headers: []string{"Year", "Device", "GB"}}
+	tb.AddRow("2002", "DRAM", "0.5")
+	tb.AddRow("2007", "MEMS", "10")
+	out := tb.Render()
+	if !strings.Contains(out, "Table 1") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// All data lines align to the same width.
+	if len(lines[1]) != len(lines[3]) || len(lines[3]) != len(lines[4]) {
+		t.Errorf("misaligned table:\n%s", out)
+	}
+	if !strings.Contains(lines[3], "| 2002 | DRAM   | 0.5 |") {
+		t.Errorf("row formatting: %q", lines[3])
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := &Table{Headers: []string{"a", "b"}}
+	tb.AddRow("1", "2", "3") // extra cell widens the table
+	tb.AddRow("4")
+	out := tb.Render()
+	if !strings.Contains(out, "3") || !strings.Contains(out, "4") {
+		t.Errorf("ragged rows mishandled:\n%s", out)
+	}
+}
+
+func TestTableEmpty(t *testing.T) {
+	tb := &Table{Title: "t"}
+	if out := tb.Render(); !strings.Contains(out, "t") {
+		t.Errorf("empty table lost title: %q", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out := CSV([]Series{
+		{Name: "a", Points: []Point{{1, 10}, {2, 20}}},
+		{Name: "b,c", Points: []Point{{2, 200}}},
+	})
+	want := "x,a,b;c\n1,10,\n2,20,200\n"
+	if out != want {
+		t.Errorf("CSV = %q, want %q", out, want)
+	}
+}
+
+func TestCSVEmpty(t *testing.T) {
+	if out := CSV(nil); out != "x\n" {
+		t.Errorf("empty CSV = %q", out)
+	}
+}
+
+func TestFmtAxis(t *testing.T) {
+	tests := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{1500, "1.5k"},
+		{2e6, "2M"},
+		{3e9, "3G"},
+		{4e12, "4T"},
+		{0.5, "0.5"},
+		{0.001, "0.001"},
+	}
+	for _, tc := range tests {
+		if got := fmtAxis(tc.v); got != tc.want {
+			t.Errorf("fmtAxis(%g) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestBarChartRender(t *testing.T) {
+	b := &BarChart{
+		Title:  "Fig 9 style",
+		Series: []string{"w/o cache", "replicated", "striped"},
+		Groups: []BarGroup{
+			{Label: "1:99", Values: []float64{6717, 13999, 13999}},
+			{Label: "50:50", Values: []float64{6717, 6150, 6150}},
+		},
+		Width: 30,
+	}
+	out := b.Render()
+	for _, want := range []string{"Fig 9 style", "1:99", "50:50", "replicated", "█"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bar chart missing %q:\n%s", want, out)
+		}
+	}
+	// The largest value gets the longest bar.
+	lines := strings.Split(out, "\n")
+	countBars := func(s string) int { return strings.Count(s, "█") }
+	var maxLine, woLine int
+	for _, l := range lines {
+		if strings.Contains(l, "replicated") && strings.Contains(l, "14k") {
+			maxLine = countBars(l)
+		}
+		if strings.Contains(l, "w/o cache") && maxLine == 0 {
+			woLine = countBars(l)
+		}
+	}
+	if maxLine == 0 {
+		t.Fatalf("peak bar not found:\n%s", out)
+	}
+	if woLine >= maxLine {
+		t.Errorf("baseline bar (%d) not shorter than peak (%d)", woLine, maxLine)
+	}
+}
+
+func TestBarChartEdgeCases(t *testing.T) {
+	empty := &BarChart{Title: "e"}
+	if !strings.Contains(empty.Render(), "(no data)") {
+		t.Error("empty chart should say so")
+	}
+	zero := &BarChart{Series: []string{"a"}, Groups: []BarGroup{{Label: "g", Values: []float64{0}}}}
+	if out := zero.Render(); !strings.Contains(out, "|") {
+		t.Errorf("zero-value chart broken: %q", out)
+	}
+	// Tiny positive values still show one cell.
+	tiny := &BarChart{Series: []string{"a", "b"}, Groups: []BarGroup{{Label: "g", Values: []float64{1000, 1}}}}
+	out := tiny.Render()
+	if strings.Count(out, "█") < 2 {
+		t.Errorf("tiny bar dropped:\n%s", out)
+	}
+}

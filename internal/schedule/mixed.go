@@ -1,0 +1,76 @@
+package schedule
+
+import (
+	"fmt"
+
+	"memstream/internal/model"
+	"memstream/internal/units"
+)
+
+// MixedAdmission is an admission controller for heterogeneous stream
+// rates. The paper's model takes (N, B̄) with B̄ the average bit-rate of
+// the streams serviced; this controller maintains that average over the
+// currently admitted population and re-checks Theorem 1 feasibility for
+// every candidate.
+type MixedAdmission struct {
+	Disk    model.DeviceSpec
+	DRAMCap units.Bytes // 0 = unlimited
+
+	rates []units.ByteRate
+}
+
+// Admitted returns the committed stream count.
+func (a *MixedAdmission) Admitted() int { return len(a.rates) }
+
+// Aggregate returns the admitted population's total bandwidth.
+func (a *MixedAdmission) Aggregate() units.ByteRate {
+	var sum float64
+	for _, r := range a.rates {
+		sum += float64(r)
+	}
+	return units.ByteRate(sum)
+}
+
+// feasible evaluates the plan for the given population.
+func feasibleMixed(disk model.DeviceSpec, dramCap units.Bytes, rates []units.ByteRate) bool {
+	n := len(rates)
+	if n == 0 {
+		return true
+	}
+	var sum float64
+	for _, r := range rates {
+		sum += float64(r)
+	}
+	load := model.StreamLoad{N: n, BitRate: units.ByteRate(sum / float64(n))}
+	plan, err := model.DiskDirect(load, disk)
+	if err != nil {
+		return false
+	}
+	return dramCap == 0 || plan.TotalDRAM <= dramCap
+}
+
+// TryAdmit attempts to admit a stream at the given rate, committing it if
+// the resulting population remains feasible.
+func (a *MixedAdmission) TryAdmit(rate units.ByteRate) (bool, error) {
+	if rate <= 0 {
+		return false, fmt.Errorf("schedule: non-positive rate %v", rate)
+	}
+	candidate := append(append([]units.ByteRate{}, a.rates...), rate)
+	if !feasibleMixed(a.Disk, a.DRAMCap, candidate) {
+		return false, nil
+	}
+	a.rates = candidate
+	return true, nil
+}
+
+// Release removes one admitted stream of the given rate. It reports
+// whether such a stream was present.
+func (a *MixedAdmission) Release(rate units.ByteRate) bool {
+	for i, r := range a.rates {
+		if r == rate {
+			a.rates = append(a.rates[:i], a.rates[i+1:]...)
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,380 @@
+package server
+
+import (
+	"time"
+
+	"memstream/internal/bank"
+	"memstream/internal/device"
+	"memstream/internal/disk"
+	"memstream/internal/dram"
+	"memstream/internal/model"
+	"memstream/internal/sim"
+	"memstream/internal/units"
+	"memstream/internal/workload"
+)
+
+// runBuffered simulates the disk→MEMS-bank→DRAM pipeline of §3.1: the disk
+// runs its own IO cycle writing large staged IOs into per-stream rings on
+// the bank; each MEMS device interleaves those writes with the small
+// DRAM-side reads of its streams every MEMS cycle (Figures 4 and 5).
+func runBuffered(cfg Config) (Result, error) {
+	dsk, err := disk.New(cfg.Disk)
+	if err != nil {
+		return Result{}, err
+	}
+	bcfg := model.BufferConfig{
+		Load:          model.StreamLoad{N: cfg.N, BitRate: cfg.BitRate},
+		Disk:          diskSpec(dsk),
+		MEMS:          memsSpec(cfg.MEMS),
+		K:             cfg.K,
+		SizePerDevice: cfg.MEMS.Capacity,
+	}
+	plan, err := model.BufferPlan(bcfg)
+	if err != nil {
+		return Result{}, err
+	}
+	// Cap the disk cycle for simulation: Theorem 2 maximizes T_disk to the
+	// capacity bound (hundreds of seconds); simulating a handful of such
+	// cycles is fine analytically but we bound it to keep per-request IO
+	// sizes inside one staging ring.
+	tDisk := plan.DiskCycle
+	if max := 20 * time.Second; tDisk > max {
+		tDisk = max
+		// Recompute the dependent quantities at the reduced cycle: the
+		// disk-side IO shrinks proportionally; the DRAM-side sizing keeps
+		// the model's M/N ratio.
+		plan.DiskIOSize = units.Bytes(float64(cfg.BitRate) * tDisk.Seconds())
+		plan.MEMSCycle = time.Duration(float64(tDisk) * float64(plan.M) / float64(cfg.N))
+		if plan.MEMSCycle < plan.MinMEMSCycle {
+			plan.MEMSCycle = plan.MinMEMSCycle
+		}
+	}
+
+	devs, err := bank.New(cfg.K, cfg.MEMS)
+	if err != nil {
+		return Result{}, err
+	}
+	bb, err := bank.NewBufferBank(devs, plan.DiskIOSize)
+	if err != nil {
+		return Result{}, err
+	}
+	cat, err := newCatalog(cfg, dsk.Geometry().BlockSize)
+	if err != nil {
+		return Result{}, err
+	}
+
+	eng := &sim.Engine{}
+	pool := dram.NewPool(0)
+	rng := sim.NewRNG(cfg.Seed)
+	gen := workload.NewGenerator(cat, rng.Uint64())
+	set, err := gen.Draw(cfg.N)
+	if err != nil {
+		return Result{}, err
+	}
+
+	tMems := plan.MEMSCycle
+	// Playback lags the pipeline by four MEMS cycles: intra-cycle
+	// completion jitter on a device's FIFO chain is bounded by about two
+	// cycles (position within the read batch plus a queued stage write),
+	// so four cycles of standing headroom keep every fill ahead of its
+	// deadline.
+	playStart := tDisk + 4*tMems
+	players := make([]*player, cfg.N)
+	margins := sim.NewReservoir(8192, cfg.Seed^0xabcdef)
+	diskBlocks := dsk.Geometry().Blocks
+	isWriter := func(i int) bool { return i < cfg.Writers }
+	for i, st := range set.Streams {
+		buf, err := pool.Open(i, cfg.BitRate)
+		if err != nil {
+			return Result{}, err
+		}
+		pos := (st.Title.StartLB + int64(st.Offset/dsk.Geometry().BlockSize)) % diskBlocks
+		start := playStart
+		if isWriter(i) {
+			start = sim.MaxTime / 2 // recorders never drain (no playback)
+		}
+		players[i] = &player{buf: buf, pos: pos, startAt: start, lastDrain: start, margins: margins}
+		if _, err := bb.Attach(i); err != nil {
+			return Result{}, err
+		}
+	}
+	// VBR playback for the readers (footnote 1): per-MEMS-cycle rate
+	// profiles with the cushion prefetched before playback, exactly as in
+	// the direct architecture.
+	if cfg.VBRCoV > 0 {
+		vrng := rng.Split()
+		intervals := int(4*tDisk/tMems) + 2
+		for i, p := range players {
+			if isWriter(i) {
+				continue
+			}
+			trace := workload.VBRTrace(vrng, cfg.BitRate, cfg.VBRCoV, intervals)
+			normalizeTrace(trace, cfg.BitRate)
+			p.consume = traceIntegrator(trace, tMems)
+			if !cfg.NoCushion {
+				if err := p.buf.Fill(workload.CushionFor(trace, tMems)); err != nil {
+					return Result{}, err
+				}
+			}
+		}
+	}
+
+	// Recorder state: bytes staged to MEMS so far and the peak DRAM a
+	// writer held (produced minus staged).
+	writerStaged := make([]units.Bytes, cfg.Writers)
+	var writerPeak units.Bytes
+	writerNote := func(i int, at time.Duration) {
+		produced := units.BytesIn(cfg.BitRate, at)
+		if occ := produced - writerStaged[i]; occ > writerPeak {
+			writerPeak = occ
+		}
+	}
+
+	duration := cfg.Duration
+	if duration <= 0 {
+		duration = 4 * tDisk
+	}
+	diskCycles := int64(duration / tDisk)
+	if diskCycles < 3 {
+		diskCycles = 3
+	}
+	end := time.Duration(diskCycles) * tDisk
+
+	diskIOBlocks := blocksFor(plan.DiskIOSize, dsk.Geometry().BlockSize)
+	memsChains := make([]*chain, cfg.K)
+	for i := range memsChains {
+		memsChains[i] = &chain{eng: eng}
+	}
+	diskChain := &chain{eng: eng}
+
+	// Disk side. Each disk cycle: readers get one large disk read that is
+	// then staged on their MEMS device; writers get the reverse — the bank
+	// reads back the slot their recorder assembled last cycle, and one
+	// large disk write ships it to the platter.
+	scheduleDiskCycle := func(c int64) {
+		sched := disk.NewScheduler(dsk, disk.CLook)
+		for i := range players {
+			if isWriter(i) && c == 0 {
+				continue // nothing assembled yet
+			}
+			p := players[i]
+			blk := p.pos
+			if blk+diskIOBlocks > diskBlocks {
+				blk = 0
+			}
+			op := device.Read
+			if isWriter(i) {
+				// The assembled slot (parity c−1) is read back from MEMS
+				// in per-MEMS-cycle pieces (scheduled below), streaming
+				// concurrently with this large disk write.
+				op = device.Write
+			}
+			sched.Enqueue(device.Request{
+				Op: op, Block: blk, Blocks: diskIOBlocks,
+				Stream: i, Issued: eng.Now(),
+			})
+			p.pos = (blk + diskIOBlocks) % diskBlocks
+		}
+		for pending := sched.Len(); pending > 0; pending-- {
+			s := sched
+			diskChain.submit(func(start time.Duration) time.Duration {
+				comp, ok, err := s.Dispatch(start)
+				if err != nil || !ok {
+					return start
+				}
+				stream := comp.Stream
+				if isWriter(stream) {
+					return comp.Finish // data already left the bank
+				}
+				// Stage the read bytes on the stream's MEMS device.
+				wreq, dev, err := bb.StageRequest(stream, c, units.Bytes(comp.Blocks)*dsk.Geometry().BlockSize)
+				if err != nil {
+					return comp.Finish
+				}
+				memsChains[dev].submit(func(ws time.Duration) time.Duration {
+					wc, err := bb.Device(dev).Service(ws, wreq)
+					if err != nil {
+						return ws
+					}
+					return wc.Finish
+				})
+				return comp.Finish
+			})
+		}
+	}
+	for c := int64(0); c < diskCycles; c++ {
+		c := c
+		eng.Schedule(time.Duration(c)*tDisk, func() { scheduleDiskCycle(c) })
+	}
+
+	// MEMS side: every MEMS cycle each stream receives one DRAM transfer
+	// of B̄·T_mems, progressing through the slot its previous disk cycle
+	// staged (DrainRequest(cycle) addresses the opposite-parity slot).
+	drainBytes := units.BytesIn(cfg.BitRate, tMems)
+	slotBlocks := blocksFor(plan.DiskIOSize, devs[0].Geometry().BlockSize)
+	slotCycle := make([]int64, cfg.N)
+	slotOff := make([]int64, cfg.N)
+	// Writers additionally read back the previously assembled slot (the
+	// second media pass feeding the disk write), tracked separately.
+	wbCycle := make([]int64, cfg.Writers)
+	wbOff := make([]int64, cfg.Writers)
+	memsCycles := int64(end / tMems)
+
+	// Best-effort traffic (§3.1.2): a few low-priority random reads per
+	// device per MEMS cycle soak up whatever bandwidth the real-time
+	// schedule leaves idle.
+	var bestEffortBytes units.Bytes
+	beRNG := rng.Split()
+	const bePerCycle = 4
+	beBlocks := blocksFor(256*units.KB, devs[0].Geometry().BlockSize)
+	scheduleBestEffort := func() {
+		for dev := 0; dev < cfg.K; dev++ {
+			dev := dev
+			for j := 0; j < bePerCycle; j++ {
+				lbn := int64(beRNG.Float64() * float64(devs[dev].Geometry().Blocks-beBlocks))
+				memsChains[dev].submitLow(func(bs time.Duration) time.Duration {
+					if bs >= end {
+						return bs // past the horizon; don't skew utilization
+					}
+					bc, err := devs[dev].Service(bs, device.Request{
+						Op: device.Read, Block: lbn, Blocks: beBlocks, Stream: -1,
+					})
+					if err != nil {
+						return bs
+					}
+					bestEffortBytes += units.Bytes(bc.Blocks) * devs[dev].Geometry().BlockSize
+					return bc.Finish
+				})
+			}
+		}
+	}
+	scheduleMEMSCycle := func(m int64) {
+		now := eng.Now()
+		diskCyc := int64(now / tDisk)
+		for i := range players {
+			i := i
+			p := players[i]
+			if !isWriter(i) && diskCyc == 0 {
+				continue // nothing staged for readers yet
+			}
+			if slotCycle[i] != diskCyc {
+				slotCycle[i] = diskCyc
+				slotOff[i] = 0
+			}
+			if slotOff[i] >= slotBlocks {
+				continue // slot consumed; the next disk cycle refills it
+			}
+			if isWriter(i) {
+				// Recorder: append this cycle's produced bytes into the
+				// slot being assembled (parity diskCyc)...
+				wreq, dev, err := bb.StageRequest(i, diskCyc, drainBytes)
+				if err != nil {
+					continue
+				}
+				wreq.Block += slotOff[i]
+				if rem := slotBlocks - slotOff[i]; wreq.Blocks > rem {
+					wreq.Blocks = rem
+				}
+				slotOff[i] += wreq.Blocks
+				memsChains[dev].submit(func(ws time.Duration) time.Duration {
+					wc, err := bb.Device(dev).Service(ws, wreq)
+					if err != nil {
+						return ws
+					}
+					writerNote(i, wc.Finish)
+					writerStaged[i] += units.Bytes(wc.Blocks) * devs[0].Geometry().BlockSize
+					return wc.Finish
+				})
+				// ...and stream one piece of the previously assembled slot
+				// back out toward the in-flight disk write.
+				if diskCyc >= 1 {
+					if wbCycle[i] != diskCyc {
+						wbCycle[i] = diskCyc
+						wbOff[i] = 0
+					}
+					if wbOff[i] < slotBlocks {
+						rreq, rdev, err := bb.DrainRequest(i, diskCyc, drainBytes)
+						if err == nil {
+							rreq.Block += wbOff[i]
+							if rem := slotBlocks - wbOff[i]; rreq.Blocks > rem {
+								rreq.Blocks = rem
+							}
+							wbOff[i] += rreq.Blocks
+							memsChains[rdev].submit(func(rs time.Duration) time.Duration {
+								rc, err := bb.Device(rdev).Service(rs, rreq)
+								if err != nil {
+									return rs
+								}
+								return rc.Finish
+							})
+						}
+					}
+				}
+				continue
+			}
+			rreq, dev, err := bb.DrainRequest(i, diskCyc, drainBytes)
+			if err != nil {
+				continue
+			}
+			rreq.Block += slotOff[i]
+			if rem := slotBlocks - slotOff[i]; rreq.Blocks > rem {
+				rreq.Blocks = rem
+			}
+			slotOff[i] += rreq.Blocks
+			memsChains[dev].submit(func(rs time.Duration) time.Duration {
+				rc, err := bb.Device(dev).Service(rs, rreq)
+				if err != nil {
+					return rs
+				}
+				p.drainTo(rc.Finish)
+				if err := p.buf.Fill(units.Bytes(rc.Blocks) * devs[0].Geometry().BlockSize); err != nil {
+					panic(err)
+				}
+				return rc.Finish
+			})
+		}
+	}
+	for m := int64(1); m <= memsCycles; m++ {
+		m := m
+		eng.Schedule(time.Duration(m)*tMems, func() {
+			scheduleMEMSCycle(m)
+			if cfg.BestEffort {
+				scheduleBestEffort()
+			}
+		})
+	}
+	eng.Schedule(end, func() {
+		for _, p := range players {
+			p.drainTo(end)
+		}
+	})
+	eng.Run()
+
+	res := Result{
+		Mode:            Buffered,
+		WriterPeakDRAM:  writerPeak,
+		BestEffortBytes: bestEffortBytes,
+		Streams:         cfg.N,
+		SimulatedTime:   end,
+		Cycles:          diskCycles,
+		PlannedDRAM:     plan.TotalDRAM,
+		DRAMHighWater:   pool.HighWater(),
+		DiskBusy:        dsk.BusyTime(),
+		DiskUtil:        float64(dsk.BusyTime()) / float64(end),
+		DiskIOs:         dsk.Served(),
+		FromDisk:        cfg.N,
+	}
+	var memsBusy time.Duration
+	for _, d := range devs {
+		memsBusy += d.BusyTime()
+		res.MEMSIOs += d.Served()
+	}
+	res.MEMSBusy = memsBusy
+	res.MEMSUtil = float64(memsBusy) / (float64(end) * float64(cfg.K))
+	for _, p := range players {
+		res.Underflows += p.underflow
+		res.UnderflowBytes += p.deficit
+	}
+	res.MarginP5 = units.Seconds(margins.Quantile(0.05))
+	return res, nil
+}

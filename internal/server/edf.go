@@ -1,0 +1,162 @@
+package server
+
+import (
+	"time"
+
+	"memstream/internal/device"
+	"memstream/internal/disk"
+	"memstream/internal/dram"
+	"memstream/internal/model"
+	"memstream/internal/schedule"
+	"memstream/internal/sim"
+	"memstream/internal/units"
+	"memstream/internal/workload"
+)
+
+// runEDF simulates the direct architecture under earliest-deadline-first
+// scheduling (Daigle & Strosnider), the alternative real-time scheduler
+// class the paper's related work contrasts with time-cycle/QPMS. Each
+// stream keeps one request outstanding, deadlined at its buffer-empty
+// time; the disk always services the most urgent request. EDF meets
+// deadlines when feasible but forfeits the elevator's seek amortization,
+// which the comparison test and bench quantify.
+func runEDF(cfg Config) (Result, error) {
+	dsk, err := disk.New(cfg.Disk)
+	if err != nil {
+		return Result{}, err
+	}
+	// Size IOs with the same Theorem 1 plan the time-cycle server uses so
+	// the comparison isolates scheduling order.
+	plan, err := model.DiskDirect(model.StreamLoad{N: cfg.N, BitRate: cfg.BitRate}, diskSpec(dsk))
+	if err != nil {
+		return Result{}, err
+	}
+	cat, err := newCatalog(cfg, dsk.Geometry().BlockSize)
+	if err != nil {
+		return Result{}, err
+	}
+
+	eng := &sim.Engine{}
+	pool := dram.NewPool(0)
+	rng := sim.NewRNG(cfg.Seed)
+	gen := workload.NewGenerator(cat, rng.Uint64())
+	set, err := gen.Draw(cfg.N)
+	if err != nil {
+		return Result{}, err
+	}
+
+	players := make([]*player, cfg.N)
+	margins := sim.NewReservoir(8192, cfg.Seed^0xabcdef)
+	diskBlocks := dsk.Geometry().Blocks
+	for i, st := range set.Streams {
+		buf, err := pool.Open(i, cfg.BitRate)
+		if err != nil {
+			return Result{}, err
+		}
+		pos := (st.Title.StartLB + int64(st.Offset/dsk.Geometry().BlockSize)) % diskBlocks
+		players[i] = &player{buf: buf, pos: pos, startAt: plan.Cycle, lastDrain: plan.Cycle, margins: margins}
+	}
+
+	duration := cfg.Duration
+	if duration <= 0 {
+		duration = 10 * plan.Cycle
+	}
+	end := duration
+	ioBlocks := blocksFor(plan.IOSize, dsk.Geometry().BlockSize)
+	ioBytes := units.Bytes(ioBlocks) * dsk.Geometry().BlockSize
+
+	var queue schedule.EDF
+	busy := false
+
+	// deadline is the instant stream i's buffer runs dry.
+	deadline := func(i int, now time.Duration) time.Duration {
+		p := players[i]
+		level := p.buf.Level()
+		drainStart := p.startAt
+		if p.lastDrain > drainStart {
+			drainStart = p.lastDrain
+		}
+		if now < drainStart {
+			// Playback has not begun; the deadline is depletion measured
+			// from playback start.
+			return drainStart + level.Duration(units.ByteRate(cfg.BitRate))
+		}
+		// level reflects lastDrain; project forward.
+		remaining := level - units.BytesIn(cfg.BitRate, now-drainStart)
+		if remaining < 0 {
+			remaining = 0
+		}
+		return now + remaining.Duration(units.ByteRate(cfg.BitRate))
+	}
+
+	var serviceNext func()
+	issue := func(i int) {
+		now := eng.Now()
+		queue.Push(&schedule.Deadline{Stream: i, IOSize: ioBytes, Deadline: deadline(i, now)})
+		if !busy {
+			serviceNext()
+		}
+	}
+	serviceNext = func() {
+		d := queue.Pop()
+		if d == nil {
+			busy = false
+			return
+		}
+		busy = true
+		i := d.Stream
+		p := players[i]
+		blk := p.pos
+		if blk+ioBlocks > diskBlocks {
+			blk = 0
+		}
+		p.pos = (blk + ioBlocks) % diskBlocks
+		comp, err := dsk.Service(eng.Now(), device.Request{
+			Op: device.Read, Block: blk, Blocks: ioBlocks, Stream: i, Issued: eng.Now(),
+		})
+		if err != nil {
+			busy = false
+			return
+		}
+		eng.Schedule(comp.Finish-eng.Now(), func() {
+			p.drainTo(comp.Finish)
+			if err := p.buf.Fill(units.Bytes(comp.Blocks) * dsk.Geometry().BlockSize); err != nil {
+				panic(err)
+			}
+			// Keep one request in flight per stream until the horizon.
+			if comp.Finish < end {
+				issue(i)
+			}
+			serviceNext()
+		})
+	}
+
+	for i := range players {
+		issue(i)
+	}
+	eng.Schedule(end, func() {
+		eng.Stop()
+	})
+	eng.RunUntil(end)
+	for _, p := range players {
+		p.drainTo(end)
+	}
+
+	res := Result{
+		Mode:          Direct,
+		Streams:       cfg.N,
+		SimulatedTime: end,
+		PlannedDRAM:   plan.TotalDRAM,
+		DRAMHighWater: pool.HighWater(),
+		DiskBusy:      dsk.BusyTime(),
+		DiskUtil:      float64(dsk.BusyTime()) / float64(end),
+		DiskIOs:       dsk.Served(),
+		FromDisk:      cfg.N,
+	}
+	for _, p := range players {
+		res.Underflows += p.underflow
+		res.UnderflowBytes += p.deficit
+	}
+	res.MarginP5 = units.Seconds(margins.Quantile(0.05))
+	return res, nil
+}

@@ -1,0 +1,315 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"memstream/internal/bank"
+	"memstream/internal/cache"
+	"memstream/internal/device"
+	"memstream/internal/disk"
+	"memstream/internal/dram"
+	"memstream/internal/model"
+	"memstream/internal/sim"
+	"memstream/internal/units"
+	"memstream/internal/workload"
+)
+
+// runHybrid simulates the paper's first future-work configuration (§7):
+// the MEMS bank is split — CacheDevices of the K devices pin popular
+// titles (striped), the remainder buffer the disk IOs of the cache
+// misses. Hot streams ride the cache's IO cycle; cold streams flow
+// through the disk→buffer→DRAM pipeline.
+func runHybrid(cfg Config) (Result, error) {
+	if cfg.CacheDevices <= 0 || cfg.CacheDevices >= cfg.K {
+		return Result{}, fmt.Errorf("server: hybrid needs 0 < CacheDevices=%d < K=%d",
+			cfg.CacheDevices, cfg.K)
+	}
+	dsk, err := disk.New(cfg.Disk)
+	if err != nil {
+		return Result{}, err
+	}
+	cacheDevs, err := bank.New(cfg.CacheDevices, cfg.MEMS)
+	if err != nil {
+		return Result{}, err
+	}
+	bufDevs, err := bank.New(cfg.K-cfg.CacheDevices, cfg.MEMS)
+	if err != nil {
+		return Result{}, err
+	}
+	cb, err := bank.NewStripedBank(cacheDevs)
+	if err != nil {
+		return Result{}, err
+	}
+	cat, err := newCatalog(cfg, dsk.Geometry().BlockSize)
+	if err != nil {
+		return Result{}, err
+	}
+	placement, err := cache.Plan(cat, cb.Capacity())
+	if err != nil {
+		return Result{}, err
+	}
+
+	eng := &sim.Engine{}
+	pool := dram.NewPool(0)
+	rng := sim.NewRNG(cfg.Seed)
+	gen := workload.NewGenerator(cat, rng.Uint64())
+	set, err := gen.Draw(cfg.N)
+	if err != nil {
+		return Result{}, err
+	}
+
+	var cachedIDs, missIDs []int
+	for i, st := range set.Streams {
+		if placement.Contains(st.Title.ID) {
+			cachedIDs = append(cachedIDs, i)
+		} else {
+			missIDs = append(missIDs, i)
+		}
+	}
+	if len(missIDs) == 0 {
+		return Result{}, fmt.Errorf("server: hybrid run has no cache misses; use Cached mode")
+	}
+
+	// Cache-side plan (Theorem 3 on the cache sub-bank).
+	var cachePlan model.DirectPlan
+	if len(cachedIDs) > 0 {
+		cachePlan, err = model.StripedCache(len(cachedIDs), cfg.CacheDevices,
+			cfg.BitRate, memsSpec(cfg.MEMS))
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	// Miss-side plan (Theorem 2 on the buffer sub-bank).
+	bufPlan, err := model.BufferPlan(model.BufferConfig{
+		Load:          model.StreamLoad{N: len(missIDs), BitRate: cfg.BitRate},
+		Disk:          diskSpec(dsk),
+		MEMS:          memsSpec(cfg.MEMS),
+		K:             cfg.K - cfg.CacheDevices,
+		SizePerDevice: cfg.MEMS.Capacity,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	tDisk := bufPlan.DiskCycle
+	if max := 20 * time.Second; tDisk > max {
+		tDisk = max
+		bufPlan.DiskIOSize = units.Bytes(float64(cfg.BitRate) * tDisk.Seconds())
+		bufPlan.MEMSCycle = time.Duration(float64(tDisk) * float64(bufPlan.M) / float64(len(missIDs)))
+		if bufPlan.MEMSCycle < bufPlan.MinMEMSCycle {
+			bufPlan.MEMSCycle = bufPlan.MinMEMSCycle
+		}
+	}
+	tMems := bufPlan.MEMSCycle
+	bb, err := bank.NewBufferBank(bufDevs, bufPlan.DiskIOSize)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Players.
+	blockSize := dsk.Geometry().BlockSize
+	diskBlocks := dsk.Geometry().Blocks
+	imageBlocks := blocksFor(placement.Used, blockSize)
+	players := make([]*player, cfg.N)
+	margins := sim.NewReservoir(8192, cfg.Seed^0xabcdef)
+	missPlayStart := tDisk + 4*tMems
+	for i, st := range set.Streams {
+		buf, err := pool.Open(i, cfg.BitRate)
+		if err != nil {
+			return Result{}, err
+		}
+		p := &player{buf: buf, margins: margins}
+		if placement.Contains(st.Title.ID) {
+			p.pos = int64(st.Offset/blockSize) % maxI64(imageBlocks, 1)
+			p.startAt = cachePlan.Cycle
+			if err := cb.Assign(i); err != nil {
+				return Result{}, err
+			}
+		} else {
+			p.pos = (st.Title.StartLB + int64(st.Offset/blockSize)) % diskBlocks
+			p.startAt = missPlayStart
+			if _, err := bb.Attach(i); err != nil {
+				return Result{}, err
+			}
+		}
+		p.lastDrain = p.startAt
+		players[i] = p
+	}
+
+	duration := cfg.Duration
+	if duration <= 0 {
+		duration = 3 * tDisk
+	}
+	diskCycles := int64(duration / tDisk)
+	if diskCycles < 3 {
+		diskCycles = 3
+	}
+	end := time.Duration(diskCycles) * tDisk
+
+	// --- Miss side: disk → buffer sub-bank → DRAM, as in runBuffered ---
+	diskIOBlocks := blocksFor(bufPlan.DiskIOSize, blockSize)
+	bufChains := make([]*chain, len(bufDevs))
+	for i := range bufChains {
+		bufChains[i] = &chain{eng: eng}
+	}
+	diskChain := &chain{eng: eng}
+	scheduleDiskCycle := func(c int64) {
+		sched := disk.NewScheduler(dsk, disk.CLook)
+		for _, i := range missIDs {
+			p := players[i]
+			blk := p.pos
+			if blk+diskIOBlocks > diskBlocks {
+				blk = 0
+			}
+			sched.Enqueue(device.Request{
+				Op: device.Read, Block: blk, Blocks: diskIOBlocks,
+				Stream: i, Issued: eng.Now(),
+			})
+			p.pos = (blk + diskIOBlocks) % diskBlocks
+		}
+		for pending := sched.Len(); pending > 0; pending-- {
+			s := sched
+			diskChain.submit(func(start time.Duration) time.Duration {
+				comp, ok, err := s.Dispatch(start)
+				if err != nil || !ok {
+					return start
+				}
+				wreq, dev, err := bb.StageRequest(comp.Stream, c, units.Bytes(comp.Blocks)*blockSize)
+				if err != nil {
+					return comp.Finish
+				}
+				bufChains[dev].submit(func(ws time.Duration) time.Duration {
+					wc, err := bb.Device(dev).Service(ws, wreq)
+					if err != nil {
+						return ws
+					}
+					return wc.Finish
+				})
+				return comp.Finish
+			})
+		}
+	}
+	for c := int64(0); c < diskCycles; c++ {
+		c := c
+		eng.Schedule(time.Duration(c)*tDisk, func() { scheduleDiskCycle(c) })
+	}
+
+	drainBytes := units.BytesIn(cfg.BitRate, tMems)
+	slotBlocks := blocksFor(bufPlan.DiskIOSize, blockSize)
+	slotCycle := make(map[int]int64, len(missIDs))
+	slotOff := make(map[int]int64, len(missIDs))
+	memsCycles := int64(end / tMems)
+	scheduleMEMSCycle := func() {
+		diskCyc := int64(eng.Now() / tDisk)
+		if diskCyc == 0 {
+			return
+		}
+		for _, i := range missIDs {
+			i := i
+			p := players[i]
+			if slotCycle[i] != diskCyc {
+				slotCycle[i] = diskCyc
+				slotOff[i] = 0
+			}
+			if slotOff[i] >= slotBlocks {
+				continue
+			}
+			rreq, dev, err := bb.DrainRequest(i, diskCyc, drainBytes)
+			if err != nil {
+				continue
+			}
+			rreq.Block += slotOff[i]
+			if rem := slotBlocks - slotOff[i]; rreq.Blocks > rem {
+				rreq.Blocks = rem
+			}
+			slotOff[i] += rreq.Blocks
+			bufChains[dev].submit(func(rs time.Duration) time.Duration {
+				rc, err := bb.Device(dev).Service(rs, rreq)
+				if err != nil {
+					return rs
+				}
+				p.drainTo(rc.Finish)
+				if err := p.buf.Fill(units.Bytes(rc.Blocks) * blockSize); err != nil {
+					panic(err)
+				}
+				return rc.Finish
+			})
+		}
+	}
+	for m := int64(1); m <= memsCycles; m++ {
+		eng.Schedule(time.Duration(m)*tMems, scheduleMEMSCycle)
+	}
+
+	// --- Cache side: striped lock-step cycles, as in runCached ---
+	if len(cachedIDs) > 0 {
+		cacheChain := &chain{eng: eng}
+		ioBlocks := blocksFor(cachePlan.IOSize, blockSize)
+		cacheCycles := int64(end / cachePlan.Cycle)
+		if cacheCycles < 2 {
+			cacheCycles = 2
+		}
+		scheduleCacheCycle := func() {
+			for _, i := range cachedIDs {
+				i := i
+				p := players[i]
+				blk := p.pos
+				if blk+ioBlocks > imageBlocks {
+					blk = 0
+				}
+				p.pos = (blk + ioBlocks) % maxI64(imageBlocks, 1)
+				cacheChain.submit(func(start time.Duration) time.Duration {
+					comp, err := cb.Read(start, i, blk, ioBlocks)
+					if err != nil {
+						return start
+					}
+					p.drainTo(comp.Finish)
+					if err := p.buf.Fill(cachePlan.IOSize); err != nil {
+						panic(err)
+					}
+					return comp.Finish
+				})
+			}
+		}
+		for c := int64(0); c < cacheCycles; c++ {
+			eng.Schedule(time.Duration(c)*cachePlan.Cycle, scheduleCacheCycle)
+		}
+	}
+
+	eng.Schedule(end, func() {
+		for _, p := range players {
+			p.drainTo(end)
+		}
+	})
+	eng.Run()
+
+	res := Result{
+		Mode:          Hybrid,
+		Streams:       cfg.N,
+		SimulatedTime: end,
+		Cycles:        diskCycles,
+		PlannedDRAM:   cachePlan.TotalDRAM + bufPlan.TotalDRAM,
+		DRAMHighWater: pool.HighWater(),
+		DiskBusy:      dsk.BusyTime(),
+		DiskUtil:      float64(dsk.BusyTime()) / float64(end),
+		DiskIOs:       dsk.Served(),
+		FromCache:     len(cachedIDs),
+		FromDisk:      len(missIDs),
+	}
+	var memsBusy time.Duration
+	for _, d := range cacheDevs {
+		memsBusy += d.BusyTime()
+		res.MEMSIOs += d.Served()
+	}
+	for _, d := range bufDevs {
+		memsBusy += d.BusyTime()
+		res.MEMSIOs += d.Served()
+	}
+	res.MEMSBusy = memsBusy
+	res.MEMSUtil = float64(memsBusy) / (float64(end) * float64(cfg.K))
+	for _, p := range players {
+		res.Underflows += p.underflow
+		res.UnderflowBytes += p.deficit
+	}
+	res.MarginP5 = units.Seconds(margins.Quantile(0.05))
+	return res, nil
+}

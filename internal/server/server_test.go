@@ -1,0 +1,667 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"memstream/internal/disk"
+	"memstream/internal/mems"
+	"memstream/internal/model"
+	"memstream/internal/sim"
+	"memstream/internal/units"
+)
+
+func baseConfig(mode Mode, n int, br units.ByteRate) Config {
+	return Config{
+		Mode:    mode,
+		Disk:    disk.FutureDisk(),
+		MEMS:    mems.G3(),
+		K:       2,
+		N:       n,
+		BitRate: br,
+		Titles:  50,
+		X:       10, Y: 90,
+		Seed: 1,
+	}
+}
+
+func TestValidateDefaults(t *testing.T) {
+	cfg := Config{Mode: Direct, Disk: disk.FutureDisk(), N: 5, BitRate: units.MBPS}
+	if err := validate(&cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Titles != 100 || cfg.X != 10 || cfg.Y != 90 {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	for _, cfg := range []Config{
+		{Mode: Direct, N: 0, BitRate: units.MBPS},
+		{Mode: Direct, N: 5, BitRate: 0},
+		{Mode: Buffered, N: 5, BitRate: units.MBPS, K: 0},
+		{Mode: Cached, N: 5, BitRate: units.MBPS, K: 0},
+	} {
+		c := cfg
+		if err := validate(&c); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Direct.String() != "direct" || Buffered.String() != "mems-buffer" || Cached.String() != "mems-cache" {
+		t.Error("mode names wrong")
+	}
+}
+
+// The central validation: a direct server provisioned by Theorem 1 never
+// underflows in simulation.
+func TestDirectNoUnderflows(t *testing.T) {
+	res, err := Run(baseConfig(Direct, 50, 1*units.MBPS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Underflows != 0 {
+		t.Errorf("underflows = %d (%v missing)", res.Underflows, res.UnderflowBytes)
+	}
+	if res.DiskIOs == 0 {
+		t.Error("no disk IOs recorded")
+	}
+	if res.DRAMHighWater <= 0 {
+		t.Error("no DRAM use recorded")
+	}
+	// Double-buffering keeps occupancy within ~2x of the model's minimum.
+	if float64(res.DRAMHighWater) > 2.5*float64(res.PlannedDRAM) {
+		t.Errorf("high water %v far above plan %v", res.DRAMHighWater, res.PlannedDRAM)
+	}
+}
+
+func TestDirectInfeasibleLoad(t *testing.T) {
+	if _, err := Run(baseConfig(Direct, 31, 10*units.MBPS)); err == nil {
+		t.Fatal("31 HDTV streams should be infeasible on FutureDisk")
+	}
+}
+
+func TestDirectDeterministic(t *testing.T) {
+	a, err := Run(baseConfig(Direct, 20, 1*units.MBPS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(baseConfig(Direct, 20, 1*units.MBPS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DRAMHighWater != b.DRAMHighWater || a.DiskBusy != b.DiskBusy || a.DiskIOs != b.DiskIOs {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestDirectSeedChangesLayout(t *testing.T) {
+	a, _ := Run(baseConfig(Direct, 20, 1*units.MBPS))
+	cfg := baseConfig(Direct, 20, 1*units.MBPS)
+	cfg.Seed = 99
+	b, _ := Run(cfg)
+	if a.DiskBusy == b.DiskBusy {
+		t.Log("different seeds produced identical busy time (possible but unlikely)")
+	}
+	if b.Underflows != 0 {
+		t.Errorf("seed 99 underflows = %d", b.Underflows)
+	}
+}
+
+// The buffered pipeline also delivers without underflows, and the disk
+// runs at high utilization thanks to the large staged IOs.
+func TestBufferedNoUnderflows(t *testing.T) {
+	cfg := baseConfig(Buffered, 100, 1*units.MBPS)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Underflows != 0 {
+		t.Errorf("underflows = %d (%v missing)", res.Underflows, res.UnderflowBytes)
+	}
+	if res.MEMSIOs == 0 {
+		t.Error("no MEMS IOs recorded")
+	}
+	// Every byte is staged and re-read: MEMS moves ≈2x the stream data.
+	if res.MEMSBusy == 0 {
+		t.Error("MEMS devices never busy")
+	}
+}
+
+func TestBufferedSingleDeviceInfeasibleAtHighLoad(t *testing.T) {
+	cfg := baseConfig(Buffered, 200, 1*units.MBPS) // needs 402MB/s of MEMS
+	cfg.K = 1
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("single-device buffer should be infeasible at 200MB/s of streams")
+	}
+	cfg.K = 2
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Underflows != 0 {
+		t.Errorf("k=2 underflows = %d", res.Underflows)
+	}
+}
+
+func TestBufferedDiskIOsAreLarge(t *testing.T) {
+	// The whole point of the buffer: disk IOs grow to S_disk-mems,
+	// far beyond the direct plan's S_disk-dram.
+	cfg := baseConfig(Buffered, 100, 100*units.KBPS)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Run(baseConfig(Direct, 100, 100*units.KBPS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same stream data volume, far fewer disk IOs per unit time.
+	diskIORateBuffered := float64(res.DiskIOs) / res.SimulatedTime.Seconds()
+	diskIORateDirect := float64(direct.DiskIOs) / direct.SimulatedTime.Seconds()
+	if diskIORateBuffered >= diskIORateDirect/5 {
+		t.Errorf("buffered disk IO rate %.2f/s not well below direct %.2f/s",
+			diskIORateBuffered, diskIORateDirect)
+	}
+}
+
+func TestCachedStripedNoUnderflows(t *testing.T) {
+	cfg := baseConfig(Cached, 200, 100*units.KBPS)
+	cfg.CachePolicy = model.Striped
+	cfg.Titles = 400 // DVD-sized catalog >> cache
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Underflows != 0 {
+		t.Errorf("underflows = %d (%v)", res.Underflows, res.UnderflowBytes)
+	}
+	if res.FromCache == 0 {
+		t.Error("no streams served from cache")
+	}
+	if res.FromCache+res.FromDisk != cfg.N {
+		t.Errorf("split %d+%d != %d", res.FromCache, res.FromDisk, cfg.N)
+	}
+	if res.MEMSIOs == 0 {
+		t.Error("cache never accessed")
+	}
+}
+
+func TestCachedReplicatedNoUnderflows(t *testing.T) {
+	cfg := baseConfig(Cached, 200, 100*units.KBPS)
+	cfg.CachePolicy = model.Replicated
+	cfg.Titles = 400
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Underflows != 0 {
+		t.Errorf("underflows = %d (%v)", res.Underflows, res.UnderflowBytes)
+	}
+	if res.FromCache == 0 {
+		t.Error("no streams served from cache")
+	}
+}
+
+func TestCachedSkewAffectsHitCount(t *testing.T) {
+	run := func(x, y float64) int {
+		cfg := baseConfig(Cached, 300, 10*units.KBPS)
+		cfg.CachePolicy = model.Striped
+		cfg.Titles = 1000
+		cfg.X, cfg.Y = x, y
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FromCache
+	}
+	skewed := run(1, 99)
+	uniform := run(50, 50)
+	if skewed <= uniform {
+		t.Errorf("1:99 cache hits (%d) should exceed 50:50 (%d)", skewed, uniform)
+	}
+}
+
+func TestCachedStripedBusierBank(t *testing.T) {
+	// Striping seeks on all k devices per IO (k·n seeks/cycle vs n) — its
+	// aggregate bank busy time should exceed replication's for the same
+	// run (paper §3.2.1 vs §3.2.2).
+	base := baseConfig(Cached, 200, 100*units.KBPS)
+	base.Titles = 400
+	base.Duration = 30 * time.Second
+
+	st := base
+	st.CachePolicy = model.Striped
+	stRes, err := Run(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := base
+	re.CachePolicy = model.Replicated
+	reRes, err := Run(re)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stRes.MEMSIOs <= reRes.MEMSIOs {
+		t.Errorf("striped device-IOs (%d) should exceed replicated (%d)",
+			stRes.MEMSIOs, reRes.MEMSIOs)
+	}
+}
+
+func TestRunUnknownMode(t *testing.T) {
+	cfg := baseConfig(Mode(99), 10, units.MBPS)
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestDirectAtHDTVFeasibilityEdge(t *testing.T) {
+	// With whole-disk content, the simulator plans against the effective
+	// (block-weighted) zone rate ≈242MB/s, so the HDTV edge sits at 23
+	// streams, not the paper's outer-zone-rate 29.
+	cfg := baseConfig(Direct, 23, 10*units.MBPS)
+	cfg.Duration = 20 * time.Second
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Underflows != 0 {
+		t.Errorf("feasible edge underflowed: %d (%v)", res.Underflows, res.UnderflowBytes)
+	}
+	if res.DiskUtil < 0.5 {
+		t.Errorf("edge-load disk utilization = %.2f, want high", res.DiskUtil)
+	}
+	// One stream past the planner's envelope must be rejected.
+	over := baseConfig(Direct, 25, 10*units.MBPS)
+	if _, err := Run(over); err == nil {
+		t.Error("25 HDTV streams should exceed the effective-rate envelope")
+	}
+}
+
+func TestChainSerializesWork(t *testing.T) {
+	eng := &sim.Engine{}
+	ch := &chain{eng: eng}
+	var order []int
+	var finishes []time.Duration
+	for i := 0; i < 3; i++ {
+		i := i
+		ch.submit(func(start time.Duration) time.Duration {
+			order = append(order, i)
+			f := start + 10*time.Millisecond
+			finishes = append(finishes, f)
+			return f
+		})
+	}
+	eng.Run()
+	if len(order) != 3 || order[0] != 0 || order[2] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+	// Items run back-to-back: finishes at 10, 20, 30ms.
+	for i, f := range finishes {
+		want := time.Duration(i+1) * 10 * time.Millisecond
+		if f != want {
+			t.Errorf("finish %d = %v, want %v", i, f, want)
+		}
+	}
+}
+
+func TestChainHandlesRegressingFinish(t *testing.T) {
+	eng := &sim.Engine{}
+	ch := &chain{eng: eng}
+	ran := 0
+	ch.submit(func(start time.Duration) time.Duration {
+		ran++
+		return start - time.Second // misbehaving item: finish before start
+	})
+	ch.submit(func(start time.Duration) time.Duration {
+		ran++
+		return start
+	})
+	eng.Run()
+	if ran != 2 {
+		t.Errorf("ran = %d, want 2 (chain must not stall)", ran)
+	}
+}
+
+func TestBufferedDeterministic(t *testing.T) {
+	cfg := baseConfig(Buffered, 50, 1*units.MBPS)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MEMSBusy != b.MEMSBusy || a.DiskIOs != b.DiskIOs || a.MEMSIOs != b.MEMSIOs {
+		t.Error("buffered run not deterministic")
+	}
+}
+
+func TestBufferedWriteStreams(t *testing.T) {
+	// §3.1: "This model can be easily extended to address write streams."
+	// A mixed population of players and recorders shares the pipeline; the
+	// recorders' DRAM occupancy must stay bounded (staging keeps up) and
+	// the players must still meet their deadlines.
+	cfg := baseConfig(Buffered, 100, 1*units.MBPS)
+	cfg.Writers = 30
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Underflows != 0 {
+		t.Errorf("reader underflows = %d", res.Underflows)
+	}
+	if res.WriterPeakDRAM <= 0 {
+		t.Error("no writer activity recorded")
+	}
+	// Occupancy stays within a few MEMS cycles of production.
+	bound := units.BytesIn(cfg.BitRate, 10*time.Second)
+	if res.WriterPeakDRAM > bound {
+		t.Errorf("writer peak DRAM %v exceeds %v — staging fell behind", res.WriterPeakDRAM, bound)
+	}
+	// The disk now performs writes too.
+	if res.DiskIOs == 0 {
+		t.Error("no disk IOs")
+	}
+}
+
+func TestWritersRejectedOutsideBufferedMode(t *testing.T) {
+	cfg := baseConfig(Direct, 10, units.MBPS)
+	cfg.Writers = 2
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("writers accepted in direct mode")
+	}
+	cfg = baseConfig(Buffered, 10, units.MBPS)
+	cfg.Writers = 11
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("writers > N accepted")
+	}
+}
+
+func TestAllWritersPipeline(t *testing.T) {
+	cfg := baseConfig(Buffered, 50, 1*units.MBPS)
+	cfg.Writers = 50
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Underflows != 0 {
+		t.Errorf("underflows = %d for a pure-recording workload", res.Underflows)
+	}
+	if res.WriterPeakDRAM <= 0 || res.MEMSIOs == 0 {
+		t.Errorf("pipeline inactive: %+v", res)
+	}
+}
+
+func TestEDFMeetsDeadlinesAtModerateLoad(t *testing.T) {
+	cfg := baseConfig(Direct, 50, 1*units.MBPS)
+	cfg.UseEDF = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Underflows != 0 {
+		t.Errorf("EDF underflows = %d (%v)", res.Underflows, res.UnderflowBytes)
+	}
+	if res.DiskIOs == 0 {
+		t.Error("no IOs serviced")
+	}
+}
+
+func TestEDFPaysMorePositioningThanTimeCycle(t *testing.T) {
+	// Same load, same IO sizes: EDF orders by deadline, the time-cycle
+	// server orders by cylinder (C-LOOK), so EDF spends more of the disk's
+	// time positioning — the reason the paper builds on time-cycle
+	// scheduling.
+	base := baseConfig(Direct, 100, 1*units.MBPS)
+	base.Duration = 10 * time.Second
+	tc, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edfCfg := base
+	edfCfg.UseEDF = true
+	edf, err := Run(edfCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edf.Underflows != 0 || tc.Underflows != 0 {
+		t.Fatalf("underflows tc=%d edf=%d", tc.Underflows, edf.Underflows)
+	}
+	// Normalize busy time per IO: EDF should be costlier.
+	tcPerIO := float64(tc.DiskBusy) / float64(tc.DiskIOs)
+	edfPerIO := float64(edf.DiskBusy) / float64(edf.DiskIOs)
+	if edfPerIO <= tcPerIO {
+		t.Errorf("EDF per-IO time %.3fms not above time-cycle %.3fms",
+			edfPerIO/1e6, tcPerIO/1e6)
+	}
+}
+
+func TestVBRWithCushionNoUnderflows(t *testing.T) {
+	// Footnote 1: VBR = CBR + memory cushion. With the CushionFor prefetch
+	// the CBR-sized schedule absorbs the rate variability.
+	cfg := baseConfig(Direct, 50, 1*units.MBPS)
+	cfg.VBRCoV = 0.3
+	cfg.Duration = 30 * time.Second
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Underflows != 0 {
+		t.Errorf("VBR with cushion underflowed %d times (%v)", res.Underflows, res.UnderflowBytes)
+	}
+}
+
+func TestVBRWithoutCushionUnderflows(t *testing.T) {
+	// The same workload without the cushion must miss deadlines — that is
+	// exactly why footnote 1 requires it.
+	cfg := baseConfig(Direct, 50, 1*units.MBPS)
+	cfg.VBRCoV = 0.3
+	cfg.NoCushion = true
+	cfg.Duration = 30 * time.Second
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Underflows == 0 {
+		t.Error("cushionless VBR met every deadline; the cushion would be unnecessary")
+	}
+}
+
+func TestVBRDeterministic(t *testing.T) {
+	cfg := baseConfig(Direct, 20, 1*units.MBPS)
+	cfg.VBRCoV = 0.2
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.UnderflowBytes != b.UnderflowBytes || a.DRAMHighWater != b.DRAMHighWater {
+		t.Error("VBR run not deterministic")
+	}
+}
+
+func TestBestEffortUsesSpareBandwidth(t *testing.T) {
+	// §3.1.2: spare bandwidth carries non-real-time traffic. The
+	// best-effort reads must move real data without costing the real-time
+	// streams a single deadline.
+	cfg := baseConfig(Buffered, 100, 1*units.MBPS)
+	cfg.BestEffort = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Underflows != 0 {
+		t.Errorf("best-effort traffic caused %d underflows", res.Underflows)
+	}
+	if res.BestEffortBytes <= 0 {
+		t.Error("no best-effort data moved despite spare bandwidth")
+	}
+	// Compare with the same run without best-effort: identical real-time
+	// behaviour, higher bank utilization.
+	plain := baseConfig(Buffered, 100, 1*units.MBPS)
+	base, err := Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.BestEffortBytes != 0 {
+		t.Error("baseline moved best-effort data")
+	}
+	if res.MEMSBusy <= base.MEMSBusy {
+		t.Error("best-effort did not raise bank utilization")
+	}
+	if res.UnderflowBytes != base.UnderflowBytes {
+		t.Error("real-time delivery changed")
+	}
+}
+
+func TestBestEffortYieldsToRealTime(t *testing.T) {
+	// Near the bank's bandwidth limit there is little spare capacity; the
+	// low-priority queue must not disturb the real-time side.
+	cfg := baseConfig(Buffered, 200, 1*units.MBPS)
+	cfg.BestEffort = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Underflows != 0 {
+		t.Errorf("underflows = %d with best-effort at high load", res.Underflows)
+	}
+}
+
+func TestHybridNoUnderflows(t *testing.T) {
+	// §7 future work: part of the bank caches hot titles, the rest buffers
+	// the misses' disk IOs. Both sides must deliver on time.
+	cfg := baseConfig(Hybrid, 300, 100*units.KBPS)
+	cfg.K = 4
+	cfg.CacheDevices = 2
+	cfg.Titles = 400
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Underflows != 0 {
+		t.Errorf("hybrid underflows = %d (%v)", res.Underflows, res.UnderflowBytes)
+	}
+	if res.FromCache == 0 || res.FromDisk == 0 {
+		t.Errorf("split = %d cached / %d missed; want both active", res.FromCache, res.FromDisk)
+	}
+	if res.MEMSIOs == 0 || res.DiskIOs == 0 {
+		t.Error("one side idle")
+	}
+	if res.Mode != Hybrid {
+		t.Errorf("mode = %v", res.Mode)
+	}
+}
+
+func TestHybridValidatesSplit(t *testing.T) {
+	cfg := baseConfig(Hybrid, 100, 100*units.KBPS)
+	cfg.K = 4
+	for _, cd := range []int{0, 4, 5} {
+		cfg.CacheDevices = cd
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("CacheDevices=%d accepted with K=4", cd)
+		}
+	}
+}
+
+func TestHybridModeString(t *testing.T) {
+	if Hybrid.String() != "mems-hybrid" {
+		t.Errorf("Hybrid = %q", Hybrid)
+	}
+}
+
+func TestBufferedVBR(t *testing.T) {
+	cfg := baseConfig(Buffered, 100, 1*units.MBPS)
+	cfg.VBRCoV = 0.3
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Underflows != 0 {
+		t.Errorf("buffered VBR with cushion underflowed %d times (%v)",
+			res.Underflows, res.UnderflowBytes)
+	}
+	// Without the cushion the variability must bite.
+	cfg.NoCushion = true
+	bare, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Underflows == 0 {
+		t.Error("cushionless buffered VBR met every deadline; cushion would be unnecessary")
+	}
+}
+
+func TestInteractivePauseResume(t *testing.T) {
+	// Interactive service ([21] in the paper's related work): paused
+	// streams consume nothing and their IOs are skipped, reclaiming disk
+	// bandwidth without costing active streams a deadline.
+	base := baseConfig(Direct, 100, 1*units.MBPS)
+	base.Duration = 60 * time.Second
+	busy, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paused := base
+	paused.PausedFraction = 0.4
+	res, err := Run(paused)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Underflows != 0 {
+		t.Errorf("interactive run underflowed %d times (%v)", res.Underflows, res.UnderflowBytes)
+	}
+	// ~40% of stream-time paused: noticeably fewer disk IOs than the
+	// always-playing run.
+	if res.DiskIOs >= busy.DiskIOs {
+		t.Errorf("paused run did %d IOs, always-on did %d — no bandwidth reclaimed",
+			res.DiskIOs, busy.DiskIOs)
+	}
+	if float64(res.DiskIOs) > 0.9*float64(busy.DiskIOs) {
+		t.Errorf("reclaimed only %d of %d IOs at 40%% pause",
+			busy.DiskIOs-res.DiskIOs, busy.DiskIOs)
+	}
+}
+
+func TestInteractiveDeterministic(t *testing.T) {
+	cfg := baseConfig(Direct, 30, 1*units.MBPS)
+	cfg.PausedFraction = 0.3
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DiskIOs != b.DiskIOs || a.DRAMHighWater != b.DRAMHighWater {
+		t.Error("interactive run not deterministic")
+	}
+}
+
+func TestMarginP5Reported(t *testing.T) {
+	res, err := Run(baseConfig(Direct, 50, 1*units.MBPS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Planned schedules keep positive delivery margins.
+	if res.MarginP5 <= 0 {
+		t.Errorf("MarginP5 = %v, want positive", res.MarginP5)
+	}
+	// A near-edge run still has a (smaller) positive margin.
+	edge := baseConfig(Direct, 23, 10*units.MBPS)
+	eres, err := Run(edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eres.MarginP5 <= 0 {
+		t.Errorf("edge MarginP5 = %v", eres.MarginP5)
+	}
+}

@@ -1,0 +1,68 @@
+package sim
+
+import "sort"
+
+// Reservoir estimates quantiles from a stream of samples using uniform
+// reservoir sampling (Vitter's Algorithm R) with a deterministic RNG, so
+// simulation percentile reports are reproducible.
+type Reservoir struct {
+	cap     int
+	seen    uint64
+	rng     *RNG
+	samples []float64
+}
+
+// NewReservoir creates a reservoir holding up to capacity samples.
+func NewReservoir(capacity int, seed uint64) *Reservoir {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Reservoir{cap: capacity, rng: NewRNG(seed)}
+}
+
+// Observe records one sample.
+func (r *Reservoir) Observe(v float64) {
+	r.seen++
+	if len(r.samples) < r.cap {
+		r.samples = append(r.samples, v)
+		return
+	}
+	// Replace a random element with probability cap/seen.
+	j := r.rng.Uint64() % r.seen
+	if j < uint64(r.cap) {
+		r.samples[j] = v
+	}
+}
+
+// N reports how many samples were observed (not retained).
+func (r *Reservoir) N() uint64 { return r.seen }
+
+// Quantile returns the q-quantile (q in [0,1]) of the retained sample,
+// with linear interpolation. It returns 0 with no samples.
+func (r *Reservoir) Quantile(q float64) float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	sorted := make([]float64, len(r.samples))
+	copy(sorted, r.samples)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[i] + frac*(sorted[i+1]-sorted[i])
+}
+
+// Median is Quantile(0.5).
+func (r *Reservoir) Median() float64 { return r.Quantile(0.5) }

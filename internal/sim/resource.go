@@ -1,0 +1,134 @@
+package sim
+
+// Server models a single-channel resource (a device arm, a bus) that
+// serves queued work items one at a time in FIFO order. Device models
+// layer their own reordering schedulers above it; Server only owns the
+// busy/idle bookkeeping.
+type Server struct {
+	eng   *Engine
+	queue []work
+	busy  bool
+
+	// Busy accumulates total time the server spent serving work,
+	// for utilization accounting.
+	Busy Time
+	// Served counts completed work items.
+	Served uint64
+}
+
+type work struct {
+	dur  Time
+	done func()
+}
+
+// NewServer returns a Server bound to eng.
+func NewServer(eng *Engine) *Server { return &Server{eng: eng} }
+
+// Submit enqueues a work item taking dur of service time; done (may be nil)
+// runs when service completes.
+func (s *Server) Submit(dur Time, done func()) {
+	s.queue = append(s.queue, work{dur: dur, done: done})
+	if !s.busy {
+		s.startNext()
+	}
+}
+
+// QueueLen reports the number of items waiting (not counting the one in
+// service).
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// Idle reports whether the server has no work in service.
+func (s *Server) Idle() bool { return !s.busy }
+
+func (s *Server) startNext() {
+	if len(s.queue) == 0 {
+		s.busy = false
+		return
+	}
+	w := s.queue[0]
+	copy(s.queue, s.queue[1:])
+	s.queue = s.queue[:len(s.queue)-1]
+	s.busy = true
+	s.eng.Schedule(w.dur, func() {
+		s.Busy += w.dur
+		s.Served++
+		if w.done != nil {
+			w.done()
+		}
+		s.startNext()
+	})
+}
+
+// Counter is a saturating tally with high-water tracking, used for queue
+// depths and buffer occupancy.
+type Counter struct {
+	v, max int64
+}
+
+// Add adjusts the counter by delta (which may be negative).
+func (c *Counter) Add(delta int64) {
+	c.v += delta
+	if c.v > c.max {
+		c.max = c.v
+	}
+}
+
+// Value returns the current tally.
+func (c *Counter) Value() int64 { return c.v }
+
+// Max returns the high-water mark.
+func (c *Counter) Max() int64 { return c.max }
+
+// Stats accumulates a running mean/min/max over float64 samples without
+// storing them.
+type Stats struct {
+	n          uint64
+	sum, sumSq float64
+	min, max   float64
+}
+
+// Observe records one sample.
+func (s *Stats) Observe(v float64) {
+	if s.n == 0 || v < s.min {
+		s.min = v
+	}
+	if s.n == 0 || v > s.max {
+		s.max = v
+	}
+	s.n++
+	s.sum += v
+	s.sumSq += v * v
+}
+
+// N returns the number of samples.
+func (s *Stats) N() uint64 { return s.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (s *Stats) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Min returns the smallest sample (0 with no samples).
+func (s *Stats) Min() float64 { return s.min }
+
+// Max returns the largest sample (0 with no samples).
+func (s *Stats) Max() float64 { return s.max }
+
+// Sum returns the total of all samples.
+func (s *Stats) Sum() float64 { return s.sum }
+
+// Var returns the population variance (0 with fewer than 2 samples).
+func (s *Stats) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.sumSq/float64(s.n) - m*m
+	if v < 0 {
+		return 0
+	}
+	return v
+}

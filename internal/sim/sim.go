@@ -1,0 +1,160 @@
+// Package sim provides a small deterministic discrete-event simulation
+// kernel: a virtual clock, an event calendar ordered by (time, sequence),
+// and helper resources built on top of it.
+//
+// The kernel is deliberately single-threaded. All device and server models
+// in memstream schedule callbacks on one Engine, so a simulation run is a
+// pure function of its inputs and RNG seed — which is what lets the
+// experiment harness reproduce the paper's figures byte-for-byte.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is simulated time measured as a duration since the start of the run.
+type Time = time.Duration
+
+// MaxTime is the largest representable simulation time.
+const MaxTime = Time(math.MaxInt64)
+
+// Event is a scheduled callback.
+type Event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	index  int // heap index; -1 once removed
+	dead   bool
+	engine *Engine
+}
+
+// At returns the time the event fires.
+func (e *Event) At() Time { return e.at }
+
+// Cancel removes the event from the calendar. Cancelling an event that has
+// already fired or been cancelled is a no-op.
+func (e *Event) Cancel() {
+	if e == nil || e.dead || e.index < 0 {
+		if e != nil {
+			e.dead = true
+		}
+		return
+	}
+	e.dead = true
+	heap.Remove(&e.engine.calendar, e.index)
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq // FIFO among simultaneous events
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index, h[j].index = i, j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the simulation core: a clock plus an event calendar.
+// The zero value is ready to use.
+type Engine struct {
+	now      Time
+	seq      uint64
+	calendar eventHeap
+	executed uint64
+	running  bool
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed reports how many events have fired so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending reports how many events are waiting on the calendar.
+func (e *Engine) Pending() int { return len(e.calendar) }
+
+// ErrPastEvent is returned by ScheduleAt for events in the simulated past.
+var ErrPastEvent = errors.New("sim: event scheduled in the past")
+
+// Schedule runs fn after delay d (clamped to zero for negative d).
+func (e *Engine) Schedule(d Time, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	ev, _ := e.ScheduleAt(e.now+d, fn)
+	return ev
+}
+
+// ScheduleAt runs fn at absolute time at. Scheduling in the past is an
+// error: device models that compute service times must never go backwards.
+func (e *Engine) ScheduleAt(at Time, fn func()) (*Event, error) {
+	if at < e.now {
+		return nil, fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, e.now)
+	}
+	e.seq++
+	ev := &Event{at: at, seq: e.seq, fn: fn, engine: e}
+	heap.Push(&e.calendar, ev)
+	return ev, nil
+}
+
+// Step fires the next event, advancing the clock. It reports whether an
+// event was available.
+func (e *Engine) Step() bool {
+	for len(e.calendar) > 0 {
+		ev := heap.Pop(&e.calendar).(*Event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		e.executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the calendar is empty.
+func (e *Engine) Run() {
+	e.running = true
+	for e.running && e.Step() {
+	}
+	e.running = false
+}
+
+// RunUntil fires events with timestamps at or before deadline, then advances
+// the clock to deadline (if it has not passed it already).
+func (e *Engine) RunUntil(deadline Time) {
+	e.running = true
+	for e.running && len(e.calendar) > 0 && e.calendar[0].at <= deadline {
+		e.Step()
+	}
+	e.running = false
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Stop makes Run/RunUntil return after the current event completes.
+func (e *Engine) Stop() { e.running = false }

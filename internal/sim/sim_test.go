@@ -1,0 +1,410 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	var eng Engine
+	var got []int
+	eng.Schedule(3*time.Millisecond, func() { got = append(got, 3) })
+	eng.Schedule(1*time.Millisecond, func() { got = append(got, 1) })
+	eng.Schedule(2*time.Millisecond, func() { got = append(got, 2) })
+	eng.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if eng.Now() != 3*time.Millisecond {
+		t.Errorf("Now = %v, want 3ms", eng.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	var eng Engine
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		eng.Schedule(time.Millisecond, func() { got = append(got, i) })
+	}
+	eng.Run()
+	if !sort.IntsAreSorted(got) {
+		t.Errorf("simultaneous events not FIFO: %v", got)
+	}
+}
+
+func TestScheduleAtPastRejected(t *testing.T) {
+	var eng Engine
+	eng.Schedule(time.Second, func() {})
+	eng.Run()
+	if _, err := eng.ScheduleAt(time.Millisecond, func() {}); err == nil {
+		t.Fatal("ScheduleAt in the past succeeded, want error")
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	var eng Engine
+	fired := false
+	eng.Schedule(-time.Second, func() { fired = true })
+	eng.Run()
+	if !fired {
+		t.Fatal("negative-delay event never fired")
+	}
+	if eng.Now() != 0 {
+		t.Errorf("Now = %v, want 0", eng.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var eng Engine
+	fired := false
+	ev := eng.Schedule(time.Millisecond, func() { fired = true })
+	ev.Cancel()
+	ev.Cancel() // double cancel is a no-op
+	eng.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if eng.Executed() != 0 {
+		t.Errorf("Executed = %d, want 0", eng.Executed())
+	}
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	var eng Engine
+	var got []int
+	eng.Schedule(1*time.Millisecond, func() { got = append(got, 1) })
+	ev := eng.Schedule(2*time.Millisecond, func() { got = append(got, 2) })
+	eng.Schedule(3*time.Millisecond, func() { got = append(got, 3) })
+	ev.Cancel()
+	eng.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("got %v, want [1 3]", got)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var eng Engine
+	var count int
+	for i := 1; i <= 5; i++ {
+		eng.Schedule(time.Duration(i)*time.Second, func() { count++ })
+	}
+	eng.RunUntil(3 * time.Second)
+	if count != 3 {
+		t.Errorf("count = %d, want 3", count)
+	}
+	if eng.Now() != 3*time.Second {
+		t.Errorf("Now = %v, want 3s", eng.Now())
+	}
+	if eng.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", eng.Pending())
+	}
+	// RunUntil past all events advances the clock to the deadline.
+	eng.RunUntil(10 * time.Second)
+	if count != 5 || eng.Now() != 10*time.Second {
+		t.Errorf("count=%d Now=%v, want 5, 10s", count, eng.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	var eng Engine
+	count := 0
+	for i := 1; i <= 5; i++ {
+		eng.Schedule(time.Duration(i)*time.Millisecond, func() {
+			count++
+			if count == 2 {
+				eng.Stop()
+			}
+		})
+	}
+	eng.Run()
+	if count != 2 {
+		t.Errorf("count = %d, want 2 (Stop ignored)", count)
+	}
+}
+
+func TestEventChaining(t *testing.T) {
+	var eng Engine
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			eng.Schedule(time.Millisecond, recurse)
+		}
+	}
+	eng.Schedule(0, recurse)
+	eng.Run()
+	if depth != 100 {
+		t.Errorf("depth = %d, want 100", depth)
+	}
+	if eng.Now() != 99*time.Millisecond {
+		t.Errorf("Now = %v, want 99ms", eng.Now())
+	}
+}
+
+// Property: however events are scheduled, Run fires them in nondecreasing
+// time order and the clock never goes backwards.
+func TestMonotonicClockProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		var eng Engine
+		var times []Time
+		for _, d := range delays {
+			at := Time(d) * time.Millisecond
+			eng.Schedule(at, func() { times = append(times, eng.Now()) })
+		}
+		eng.Run()
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == len(delays)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestServerFIFOAndUtilization(t *testing.T) {
+	var eng Engine
+	srv := NewServer(&eng)
+	var done []int
+	for i := 0; i < 3; i++ {
+		i := i
+		srv.Submit(10*time.Millisecond, func() { done = append(done, i) })
+	}
+	if srv.QueueLen() != 2 {
+		t.Errorf("QueueLen = %d, want 2 (one in service)", srv.QueueLen())
+	}
+	eng.Run()
+	if len(done) != 3 || done[0] != 0 || done[2] != 2 {
+		t.Fatalf("done = %v", done)
+	}
+	if srv.Busy != 30*time.Millisecond {
+		t.Errorf("Busy = %v, want 30ms", srv.Busy)
+	}
+	if srv.Served != 3 {
+		t.Errorf("Served = %d, want 3", srv.Served)
+	}
+	if !srv.Idle() {
+		t.Error("server should be idle after Run")
+	}
+}
+
+func TestServerAcceptsWorkWhileBusy(t *testing.T) {
+	var eng Engine
+	srv := NewServer(&eng)
+	completed := 0
+	srv.Submit(5*time.Millisecond, func() {
+		completed++
+		srv.Submit(5*time.Millisecond, func() { completed++ })
+	})
+	eng.Run()
+	if completed != 2 {
+		t.Errorf("completed = %d, want 2", completed)
+	}
+	if eng.Now() != 10*time.Millisecond {
+		t.Errorf("Now = %v, want 10ms", eng.Now())
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(3)
+	c.Add(-6)
+	if c.Value() != 2 {
+		t.Errorf("Value = %d, want 2", c.Value())
+	}
+	if c.Max() != 8 {
+		t.Errorf("Max = %d, want 8", c.Max())
+	}
+}
+
+func TestStats(t *testing.T) {
+	var s Stats
+	for _, v := range []float64{1, 2, 3, 4} {
+		s.Observe(v)
+	}
+	if s.N() != 4 || s.Mean() != 2.5 || s.Min() != 1 || s.Max() != 4 || s.Sum() != 10 {
+		t.Errorf("stats = n=%d mean=%v min=%v max=%v sum=%v", s.N(), s.Mean(), s.Min(), s.Max(), s.Sum())
+	}
+	if math.Abs(s.Var()-1.25) > 1e-12 {
+		t.Errorf("Var = %v, want 1.25", s.Var())
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	var s Stats
+	if s.Mean() != 0 || s.Var() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("empty Stats should report zeros")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if NewRNG(42).Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds look identical (%d collisions)", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(9)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %v", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("Intn(10) covered %d values, want 10", len(seen))
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(11)
+	var s Stats
+	for i := 0; i < 200000; i++ {
+		s.Observe(r.Exp(5))
+	}
+	if math.Abs(s.Mean()-5) > 0.1 {
+		t.Errorf("Exp mean = %v, want ~5", s.Mean())
+	}
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(13)
+	var s Stats
+	for i := 0; i < 200000; i++ {
+		s.Observe(r.Norm(10, 2))
+	}
+	if math.Abs(s.Mean()-10) > 0.05 {
+		t.Errorf("Norm mean = %v, want ~10", s.Mean())
+	}
+	if math.Abs(math.Sqrt(s.Var())-2) > 0.05 {
+		t.Errorf("Norm stddev = %v, want ~2", math.Sqrt(s.Var()))
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(17)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("bad permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	r := NewRNG(21)
+	s := r.Split()
+	if r.Uint64() == s.Uint64() {
+		t.Error("split stream mirrors parent")
+	}
+}
+
+func TestReservoirSmallStreamExact(t *testing.T) {
+	r := NewReservoir(100, 1)
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		r.Observe(v)
+	}
+	if r.N() != 5 {
+		t.Errorf("N = %d", r.N())
+	}
+	if got := r.Quantile(0); got != 1 {
+		t.Errorf("min = %v", got)
+	}
+	if got := r.Quantile(1); got != 5 {
+		t.Errorf("max = %v", got)
+	}
+	if got := r.Median(); got != 3 {
+		t.Errorf("median = %v", got)
+	}
+	// Interpolation between order statistics.
+	if got := r.Quantile(0.25); got != 2 {
+		t.Errorf("q25 = %v", got)
+	}
+}
+
+func TestReservoirEmptyAndClamping(t *testing.T) {
+	r := NewReservoir(10, 1)
+	if r.Quantile(0.5) != 0 {
+		t.Error("empty reservoir should report 0")
+	}
+	r.Observe(7)
+	if r.Quantile(-1) != 7 || r.Quantile(2) != 7 {
+		t.Error("q clamping failed")
+	}
+}
+
+func TestReservoirLargeStreamApproximation(t *testing.T) {
+	// Uniform [0,1): quantile estimates should track q.
+	r := NewReservoir(2048, 3)
+	src := NewRNG(4)
+	for i := 0; i < 200000; i++ {
+		r.Observe(src.Float64())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		got := r.Quantile(q)
+		if math.Abs(got-q) > 0.05 {
+			t.Errorf("Quantile(%v) = %v", q, got)
+		}
+	}
+}
+
+func TestReservoirDeterministic(t *testing.T) {
+	mk := func() float64 {
+		r := NewReservoir(64, 9)
+		src := NewRNG(10)
+		for i := 0; i < 10000; i++ {
+			r.Observe(src.Float64())
+		}
+		return r.Quantile(0.95)
+	}
+	if mk() != mk() {
+		t.Error("reservoir not deterministic")
+	}
+}

@@ -1,0 +1,209 @@
+// Package trace records and replays device IO traces. Traces decouple
+// workload generation from device evaluation: the memsim tool replays the
+// same trace against disk and MEMS models to compare service behaviour,
+// and tests use golden traces to pin scheduler behaviour.
+//
+// Two codecs are provided: a line-oriented text form (one event per line,
+// grep-able) and a compact binary form (varint-encoded) for large traces.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"memstream/internal/device"
+)
+
+// Event is one trace record: a request and when it was issued.
+type Event struct {
+	At     time.Duration
+	Op     device.Op
+	Block  int64
+	Blocks int64
+	Stream int
+}
+
+// Request converts the event to a device request.
+func (e Event) Request() device.Request {
+	return device.Request{Op: e.Op, Block: e.Block, Blocks: e.Blocks, Stream: e.Stream, Issued: e.At}
+}
+
+// FromCompletion builds an event from a serviced request.
+func FromCompletion(c device.Completion) Event {
+	return Event{At: c.Issued, Op: c.Op, Block: c.Block, Blocks: c.Blocks, Stream: c.Stream}
+}
+
+// WriteText encodes events one per line:
+//
+//	<at_ns> <r|w> <block> <blocks> <stream>
+func WriteText(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range events {
+		op := "r"
+		if e.Op == device.Write {
+			op = "w"
+		}
+		if _, err := fmt.Fprintf(bw, "%d %s %d %d %d\n",
+			e.At.Nanoseconds(), op, e.Block, e.Blocks, e.Stream); err != nil {
+			return fmt.Errorf("trace: write: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText decodes the text form. Blank lines and lines starting with '#'
+// are skipped.
+func ReadText(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		f := strings.Fields(text)
+		if len(f) != 5 {
+			return nil, fmt.Errorf("trace: line %d: want 5 fields, got %d", line, len(f))
+		}
+		at, err := strconv.ParseInt(f[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad timestamp %q", line, f[0])
+		}
+		var op device.Op
+		switch f[1] {
+		case "r":
+			op = device.Read
+		case "w":
+			op = device.Write
+		default:
+			return nil, fmt.Errorf("trace: line %d: bad op %q", line, f[1])
+		}
+		block, err := strconv.ParseInt(f[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad block %q", line, f[2])
+		}
+		blocks, err := strconv.ParseInt(f[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad length %q", line, f[3])
+		}
+		stream, err := strconv.Atoi(f[4])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad stream %q", line, f[4])
+		}
+		events = append(events, Event{At: time.Duration(at), Op: op, Block: block, Blocks: blocks, Stream: stream})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: scan: %w", err)
+	}
+	return events, nil
+}
+
+// binaryMagic guards against decoding unrelated files.
+const binaryMagic = "MSTR1"
+
+// WriteBinary encodes events in the compact varint form.
+func WriteBinary(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return fmt.Errorf("trace: write magic: %w", err)
+	}
+	buf := make([]byte, binary.MaxVarintLen64)
+	put := func(v uint64) error {
+		n := binary.PutUvarint(buf, v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := put(uint64(len(events))); err != nil {
+		return fmt.Errorf("trace: write count: %w", err)
+	}
+	for i, e := range events {
+		op := uint64(0)
+		if e.Op == device.Write {
+			op = 1
+		}
+		for _, v := range []uint64{uint64(e.At), op, uint64(e.Block), uint64(e.Blocks), uint64(int64(e.Stream))} {
+			if err := put(v); err != nil {
+				return fmt.Errorf("trace: write event %d: %w", i, err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes the binary form.
+func ReadBinary(r io.Reader) ([]Event, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: read magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: read count: %w", err)
+	}
+	const maxEvents = 1 << 28
+	if count > maxEvents {
+		return nil, fmt.Errorf("trace: implausible event count %d", count)
+	}
+	events := make([]Event, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var vals [5]uint64
+		for j := range vals {
+			v, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: event %d field %d: %w", i, j, err)
+			}
+			vals[j] = v
+		}
+		op := device.Read
+		if vals[1] == 1 {
+			op = device.Write
+		}
+		events = append(events, Event{
+			At:     time.Duration(vals[0]),
+			Op:     op,
+			Block:  int64(vals[2]),
+			Blocks: int64(vals[3]),
+			Stream: int(int64(vals[4])),
+		})
+	}
+	return events, nil
+}
+
+// Stats summarizes a trace.
+type Stats struct {
+	Events      int
+	Reads       int
+	Writes      int
+	TotalBlocks int64
+	Span        time.Duration
+}
+
+// Summarize computes trace statistics.
+func Summarize(events []Event) Stats {
+	var s Stats
+	s.Events = len(events)
+	for _, e := range events {
+		if e.Op == device.Write {
+			s.Writes++
+		} else {
+			s.Reads++
+		}
+		s.TotalBlocks += e.Blocks
+		if e.At > s.Span {
+			s.Span = e.At
+		}
+	}
+	return s
+}

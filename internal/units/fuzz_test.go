@@ -1,0 +1,45 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParseBytes checks the size parser never panics and that accepted
+// values are finite and render back to something parseable.
+func FuzzParseBytes(f *testing.F) {
+	for _, seed := range []string{"10GB", "1.5TB", "0", "-3MB", "GB", "1e9", "10 XB", "  7 kb "} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		b, err := ParseBytes(in)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(float64(b)) {
+			t.Fatalf("ParseBytes(%q) accepted NaN", in)
+		}
+		if math.IsInf(float64(b), 0) {
+			return // "1e999GB"-style inputs legitimately overflow
+		}
+		if _, err := ParseBytes(b.String()); err != nil {
+			t.Fatalf("rendered value %q does not re-parse", b.String())
+		}
+	})
+}
+
+// FuzzParseRate does the same for the rate parser.
+func FuzzParseRate(f *testing.F) {
+	for _, seed := range []string{"300MB/s", "10KB", "5", "/s", "MB/s"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		r, err := ParseRate(in)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(float64(r)) {
+			t.Fatalf("ParseRate(%q) accepted NaN", in)
+		}
+	})
+}

@@ -1,0 +1,61 @@
+package units
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseBytes parses a human byte size such as "10GB", "512KB", "1.5TB" or a
+// bare number of bytes. Units are decimal, matching the rest of the package.
+func ParseBytes(s string) (Bytes, error) {
+	v, unit, err := splitNumberUnit(s)
+	if err != nil {
+		return 0, fmt.Errorf("units: parse bytes %q: %w", s, err)
+	}
+	switch strings.ToUpper(unit) {
+	case "", "B":
+		return Bytes(v), nil
+	case "KB", "K":
+		return Bytes(v) * KB, nil
+	case "MB", "M":
+		return Bytes(v) * MB, nil
+	case "GB", "G":
+		return Bytes(v) * GB, nil
+	case "TB", "T":
+		return Bytes(v) * TB, nil
+	}
+	return 0, fmt.Errorf("units: parse bytes %q: unknown unit %q", s, unit)
+}
+
+// ParseRate parses a human data rate such as "300MB/s", "10KB/s" or a bare
+// number of bytes per second.
+func ParseRate(s string) (ByteRate, error) {
+	t := strings.TrimSuffix(strings.TrimSpace(s), "/s")
+	b, err := ParseBytes(t)
+	if err != nil {
+		return 0, fmt.Errorf("units: parse rate %q: %w", s, err)
+	}
+	return ByteRate(b), nil
+}
+
+func splitNumberUnit(s string) (float64, string, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0, "", fmt.Errorf("empty input")
+	}
+	i := len(t)
+	for i > 0 {
+		c := t[i-1]
+		if c >= '0' && c <= '9' || c == '.' {
+			break
+		}
+		i--
+	}
+	num, unit := strings.TrimSpace(t[:i]), strings.TrimSpace(t[i:])
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, "", fmt.Errorf("bad number %q", num)
+	}
+	return v, unit, nil
+}

@@ -1,0 +1,180 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"memstream/internal/sim"
+	"memstream/internal/units"
+)
+
+// SessionProcess generates a stream of viewer sessions: Poisson arrivals
+// with exponentially distributed holding times — the standard teletraffic
+// model for on-demand viewing. The paper's evaluation works with a fixed
+// population N; this process drives the admission-control dynamics the
+// served population emerges from.
+type SessionProcess struct {
+	ArrivalRate float64       // sessions per second
+	MeanHold    time.Duration // mean session length
+	BitRate     units.ByteRate
+}
+
+// Validate checks the process parameters.
+func (p SessionProcess) Validate() error {
+	if p.ArrivalRate <= 0 {
+		return fmt.Errorf("workload: non-positive arrival rate %g", p.ArrivalRate)
+	}
+	if p.MeanHold <= 0 {
+		return fmt.Errorf("workload: non-positive mean hold %v", p.MeanHold)
+	}
+	if p.BitRate <= 0 {
+		return fmt.Errorf("workload: non-positive bit-rate %v", p.BitRate)
+	}
+	return nil
+}
+
+// OfferedLoad is the Erlang offered load a = λ·E[hold]: the stationary
+// mean of concurrently active sessions were none rejected.
+func (p SessionProcess) OfferedLoad() float64 {
+	return p.ArrivalRate * p.MeanHold.Seconds()
+}
+
+// Session is one generated viewing session.
+type Session struct {
+	ID      int
+	Arrive  time.Duration
+	Hold    time.Duration
+	BitRate units.ByteRate
+}
+
+// Generate draws sessions arriving within the horizon.
+func (p SessionProcess) Generate(rng *sim.RNG, horizon time.Duration) ([]Session, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("workload: non-positive horizon %v", horizon)
+	}
+	var out []Session
+	t := time.Duration(0)
+	id := 0
+	for {
+		gap := units.Seconds(rng.Exp(1 / p.ArrivalRate))
+		t += gap
+		if t >= horizon {
+			return out, nil
+		}
+		out = append(out, Session{
+			ID:      id,
+			Arrive:  t,
+			Hold:    units.Seconds(rng.Exp(p.MeanHold.Seconds())),
+			BitRate: p.BitRate,
+		})
+		id++
+	}
+}
+
+// AdmissionStats summarizes an admission-controlled run of a session
+// trace.
+type AdmissionStats struct {
+	Offered   int
+	Admitted  int
+	Rejected  int
+	PeakBusy  int
+	AvgBusy   float64
+	BlockProb float64
+}
+
+// ReplayAdmission drives a session trace (sessions must be in arrival
+// order) through an admission test: capacity reports whether one more
+// concurrent stream fits given the current count. It returns loss-system
+// statistics — the Erlang-B view of the streaming server's capacity
+// region.
+func ReplayAdmission(sessions []Session, capacity func(busy int) bool) AdmissionStats {
+	stats := AdmissionStats{Offered: len(sessions)}
+	if len(sessions) == 0 {
+		return stats
+	}
+	departures := &durationHeap{}
+	busy := 0
+	var busyArea float64
+	last := time.Duration(0)
+	advance := func(t time.Duration) {
+		// Process departures before t, integrating busy-time exactly.
+		for departures.Len() > 0 && departures.Min() <= t {
+			d := departures.Pop()
+			busyArea += float64(busy) * (d - last).Seconds()
+			last = d
+			busy--
+		}
+		busyArea += float64(busy) * (t - last).Seconds()
+		last = t
+	}
+	for _, s := range sessions {
+		advance(s.Arrive)
+		if !capacity(busy) {
+			stats.Rejected++
+			continue
+		}
+		stats.Admitted++
+		busy++
+		departures.Push(s.Arrive + s.Hold)
+		if busy > stats.PeakBusy {
+			stats.PeakBusy = busy
+		}
+	}
+	horizon := sessions[len(sessions)-1].Arrive
+	if horizon > 0 {
+		stats.AvgBusy = busyArea / horizon.Seconds()
+	}
+	stats.BlockProb = float64(stats.Rejected) / float64(stats.Offered)
+	return stats
+}
+
+// durationHeap is a minimal binary min-heap of times.
+type durationHeap struct{ v []time.Duration }
+
+// Len reports heap size.
+func (h *durationHeap) Len() int { return len(h.v) }
+
+// Min returns the smallest element; callers must check Len first.
+func (h *durationHeap) Min() time.Duration { return h.v[0] }
+
+// Push inserts t.
+func (h *durationHeap) Push(t time.Duration) {
+	h.v = append(h.v, t)
+	i := len(h.v) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.v[parent] <= h.v[i] {
+			break
+		}
+		h.v[parent], h.v[i] = h.v[i], h.v[parent]
+		i = parent
+	}
+}
+
+// Pop removes and returns the minimum.
+func (h *durationHeap) Pop() time.Duration {
+	top := h.v[0]
+	n := len(h.v) - 1
+	h.v[0] = h.v[n]
+	h.v = h.v[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.v[l] < h.v[small] {
+			small = l
+		}
+		if r < n && h.v[r] < h.v[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.v[i], h.v[small] = h.v[small], h.v[i]
+		i = small
+	}
+	return top
+}

@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"memstream/internal/sim"
+	"memstream/internal/units"
+)
+
+func TestSessionProcessValidate(t *testing.T) {
+	ok := SessionProcess{ArrivalRate: 1, MeanHold: time.Minute, BitRate: units.MBPS}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []SessionProcess{
+		{ArrivalRate: 0, MeanHold: time.Minute, BitRate: units.MBPS},
+		{ArrivalRate: 1, MeanHold: 0, BitRate: units.MBPS},
+		{ArrivalRate: 1, MeanHold: time.Minute, BitRate: 0},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%+v accepted", p)
+		}
+	}
+}
+
+func TestOfferedLoad(t *testing.T) {
+	p := SessionProcess{ArrivalRate: 2, MeanHold: 30 * time.Second, BitRate: units.MBPS}
+	if got := p.OfferedLoad(); got != 60 {
+		t.Errorf("offered load = %v, want 60 erlangs", got)
+	}
+}
+
+func TestGenerateStatistics(t *testing.T) {
+	p := SessionProcess{ArrivalRate: 5, MeanHold: 2 * time.Minute, BitRate: units.MBPS}
+	rng := sim.NewRNG(1)
+	horizon := 2 * time.Hour
+	sessions, err := p.Generate(rng, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected count ≈ λ·T = 36000; allow 5%.
+	want := p.ArrivalRate * horizon.Seconds()
+	if math.Abs(float64(len(sessions))-want) > 0.05*want {
+		t.Errorf("sessions = %d, want ≈%.0f", len(sessions), want)
+	}
+	// Arrivals in order and within horizon; holds have the right mean.
+	var holdSum float64
+	for i, s := range sessions {
+		if s.Arrive >= horizon || s.Arrive < 0 {
+			t.Fatalf("arrival %v outside horizon", s.Arrive)
+		}
+		if i > 0 && s.Arrive < sessions[i-1].Arrive {
+			t.Fatal("arrivals out of order")
+		}
+		if s.ID != i {
+			t.Fatalf("session %d has id %d", i, s.ID)
+		}
+		holdSum += s.Hold.Seconds()
+	}
+	meanHold := holdSum / float64(len(sessions))
+	if math.Abs(meanHold-120) > 6 {
+		t.Errorf("mean hold = %.1fs, want ≈120s", meanHold)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	p := SessionProcess{ArrivalRate: 1, MeanHold: time.Minute, BitRate: units.MBPS}
+	if _, err := p.Generate(sim.NewRNG(1), 0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := (SessionProcess{}).Generate(sim.NewRNG(1), time.Hour); err == nil {
+		t.Error("invalid process accepted")
+	}
+}
+
+func TestReplayAdmissionUnlimited(t *testing.T) {
+	p := SessionProcess{ArrivalRate: 1, MeanHold: time.Minute, BitRate: units.MBPS}
+	sessions, _ := p.Generate(sim.NewRNG(2), time.Hour)
+	stats := ReplayAdmission(sessions, func(int) bool { return true })
+	if stats.Rejected != 0 || stats.Admitted != stats.Offered {
+		t.Errorf("unlimited capacity rejected %d", stats.Rejected)
+	}
+	// Stationary busy count ≈ offered load (60 erlangs).
+	if math.Abs(stats.AvgBusy-p.OfferedLoad()) > 0.25*p.OfferedLoad() {
+		t.Errorf("avg busy = %.1f, want ≈%.0f", stats.AvgBusy, p.OfferedLoad())
+	}
+	if stats.PeakBusy < int(stats.AvgBusy) {
+		t.Error("peak below average")
+	}
+}
+
+func TestReplayAdmissionHardCap(t *testing.T) {
+	p := SessionProcess{ArrivalRate: 2, MeanHold: time.Minute, BitRate: units.MBPS}
+	sessions, _ := p.Generate(sim.NewRNG(3), time.Hour)
+	const cap = 100
+	stats := ReplayAdmission(sessions, func(busy int) bool { return busy < cap })
+	if stats.PeakBusy > cap {
+		t.Errorf("peak %d exceeded cap %d", stats.PeakBusy, cap)
+	}
+	// Offered 120 erlangs into 100 servers: Erlang-B blocking ≈ 0.19.
+	if stats.BlockProb < 0.05 || stats.BlockProb > 0.4 {
+		t.Errorf("blocking probability = %.3f, want Erlang-B-ish ≈0.19", stats.BlockProb)
+	}
+	if stats.Admitted+stats.Rejected != stats.Offered {
+		t.Error("admitted + rejected != offered")
+	}
+}
+
+func TestReplayAdmissionEmpty(t *testing.T) {
+	stats := ReplayAdmission(nil, func(int) bool { return true })
+	if stats.Offered != 0 || stats.BlockProb != 0 {
+		t.Errorf("empty stats = %+v", stats)
+	}
+}
+
+// Property: the duration heap pops in sorted order.
+func TestDurationHeapProperty(t *testing.T) {
+	f := func(vals []uint32) bool {
+		h := &durationHeap{}
+		for _, v := range vals {
+			h.Push(time.Duration(v))
+		}
+		sorted := make([]time.Duration, len(vals))
+		for i := range sorted {
+			sorted[i] = h.Pop()
+		}
+		want := make([]time.Duration, len(vals))
+		for i, v := range vals {
+			want[i] = time.Duration(v)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if sorted[i] != want[i] {
+				return false
+			}
+		}
+		return h.Len() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with a hard cap, blocking never lets busy exceed the cap and
+// conservation holds.
+func TestReplayAdmissionCapProperty(t *testing.T) {
+	f := func(seed uint16, capRaw uint8) bool {
+		capN := int(capRaw%50) + 1
+		p := SessionProcess{ArrivalRate: 1, MeanHold: 30 * time.Second, BitRate: units.MBPS}
+		sessions, err := p.Generate(sim.NewRNG(uint64(seed)), 30*time.Minute)
+		if err != nil {
+			return false
+		}
+		stats := ReplayAdmission(sessions, func(busy int) bool { return busy < capN })
+		return stats.PeakBusy <= capN && stats.Admitted+stats.Rejected == stats.Offered
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,302 @@
+// Package memstream is a library for planning and simulating streaming
+// media servers that use MEMS-based storage as a disk buffer or content
+// cache, reproducing "MEMS-based Disk Buffer for Streaming Media Servers"
+// (Rangaswami, Dimitrijević, Chang, Schauser — ICDE 2003).
+//
+// The package exposes three layers:
+//
+//   - Device catalogs: the paper's 2007 FutureDisk, the CMU G1–G3 MEMS
+//     generations, and a 2002 Atlas 10K III, as plain parameter structs.
+//   - The analytical planner: closed-form minimum DRAM buffer sizes and
+//     buffering costs for direct, MEMS-buffered and MEMS-cached servers
+//     (the paper's Theorems 1–4 and cost model).
+//   - A discrete-event simulator that executes the planned schedules on
+//     full disk/MEMS device models and reports underflows, utilization
+//     and actual memory occupancy.
+//
+// Quantities use float64 bytes and bytes-per-second plus time.Duration,
+// so the public API has no dependency on internal unit types.
+package memstream
+
+import (
+	"time"
+
+	"memstream/internal/disk"
+	"memstream/internal/mems"
+	"memstream/internal/model"
+	"memstream/internal/units"
+)
+
+// StorageDevice describes a device for planning purposes.
+type StorageDevice struct {
+	Name string
+	// RateBytesPerSec is the sustained media transfer rate R_d.
+	RateBytesPerSec float64
+	// AvgLatency is the expected per-IO positioning overhead.
+	AvgLatency time.Duration
+	// MaxLatency is the worst-case per-IO positioning overhead. The paper
+	// charges MEMS IOs this value.
+	MaxLatency time.Duration
+	// CapacityBytes is the device capacity.
+	CapacityBytes float64
+	// CostPerGB and CostPerDevice price the device.
+	CostPerGB     float64
+	CostPerDevice float64
+}
+
+// FutureDisk returns the paper's projected 2007 drive (Table 3).
+func FutureDisk() StorageDevice { return fromDisk(disk.FutureDisk()) }
+
+// Atlas10K3 returns the 2002 Maxtor Atlas 10K III approximation.
+func Atlas10K3() StorageDevice { return fromDisk(disk.Atlas10K3()) }
+
+// G3MEMS returns the third-generation CMU MEMS device (Table 3).
+func G3MEMS() StorageDevice { return fromMEMS(mems.G3()) }
+
+// G2MEMS returns the interpolated second-generation MEMS device.
+func G2MEMS() StorageDevice { return fromMEMS(mems.G2()) }
+
+// G1MEMS returns the interpolated first-generation MEMS device.
+func G1MEMS() StorageDevice { return fromMEMS(mems.G1()) }
+
+func fromDisk(p disk.Params) StorageDevice {
+	return StorageDevice{
+		Name:            p.Name,
+		RateBytesPerSec: float64(p.OuterRate),
+		AvgLatency:      p.AvgAccess(),
+		MaxLatency:      p.MaxAccess(),
+		CapacityBytes:   float64(p.Capacity),
+		CostPerGB:       float64(p.CostPerGB),
+		CostPerDevice:   float64(p.CostPerDev),
+	}
+}
+
+func fromMEMS(p mems.Params) StorageDevice {
+	return StorageDevice{
+		Name:            p.Name,
+		RateBytesPerSec: float64(p.Rate),
+		AvgLatency:      p.AvgLatency(),
+		MaxLatency:      p.MaxLatency(),
+		CapacityBytes:   float64(p.Capacity),
+		CostPerGB:       float64(p.CostPerGB),
+		CostPerDevice:   float64(p.CostPerDev),
+	}
+}
+
+// spec converts a device to the model's spec under the paper's latency
+// convention: disks plan at average latency, MEMS at maximum.
+func (d StorageDevice) diskSpec() model.DeviceSpec {
+	return model.DeviceSpec{Rate: units.ByteRate(d.RateBytesPerSec), Latency: d.AvgLatency}
+}
+
+func (d StorageDevice) memsSpec() model.DeviceSpec {
+	return model.DeviceSpec{Rate: units.ByteRate(d.RateBytesPerSec), Latency: d.MaxLatency}
+}
+
+// Load is the stream population a server must sustain: N concurrent
+// constant-bit-rate streams averaging BitRate bytes per second.
+type Load struct {
+	Streams int
+	BitRate float64
+}
+
+func (l Load) toModel() model.StreamLoad {
+	return model.StreamLoad{N: l.Streams, BitRate: units.ByteRate(l.BitRate)}
+}
+
+// Plan is a feasible time-cycle schedule with its buffer sizing.
+type Plan struct {
+	// Cycle is the IO cycle length T.
+	Cycle time.Duration
+	// PerStreamBytes is the minimum per-stream DRAM buffer S.
+	PerStreamBytes float64
+	// TotalDRAMBytes is N·S.
+	TotalDRAMBytes float64
+	// IOBytes is the device IO size per stream per cycle.
+	IOBytes float64
+}
+
+func fromDirect(p model.DirectPlan) Plan {
+	return Plan{
+		Cycle:          p.Cycle,
+		PerStreamBytes: float64(p.PerStream),
+		TotalDRAMBytes: float64(p.TotalDRAM),
+		IOBytes:        float64(p.IOSize),
+	}
+}
+
+// PlanDirect sizes a direct disk→DRAM server (Theorem 1 / Eq 3).
+func PlanDirect(load Load, dsk StorageDevice) (Plan, error) {
+	p, err := model.DiskDirect(load.toModel(), dsk.diskSpec())
+	if err != nil {
+		return Plan{}, err
+	}
+	return fromDirect(p), nil
+}
+
+// BufferPlan is the sizing of a MEMS-buffered server (Theorem 2).
+type BufferPlan struct {
+	Plan
+	// DiskCycle and MEMSCycle are the two IO cycles T_disk and T_mems.
+	DiskCycle time.Duration
+	MEMSCycle time.Duration
+	// M is the number of disk transfers per MEMS IO cycle (Eq 8).
+	M int
+	// DiskIOBytes is the large staged IO size S_disk-mems.
+	DiskIOBytes float64
+	// MEMSBufferBytes is the staged data held across the bank.
+	MEMSBufferBytes float64
+}
+
+// PlanMEMSBuffer sizes a server that stages disk IOs through a bank of k
+// MEMS devices (Theorem 2 / Eq 5–8).
+func PlanMEMSBuffer(load Load, dsk, mem StorageDevice, k int) (BufferPlan, error) {
+	cfg := model.BufferConfig{
+		Load:          load.toModel(),
+		Disk:          dsk.diskSpec(),
+		MEMS:          mem.memsSpec(),
+		K:             k,
+		SizePerDevice: units.Bytes(mem.CapacityBytes),
+	}
+	p, err := model.BufferPlan(cfg)
+	if err != nil {
+		return BufferPlan{}, err
+	}
+	return BufferPlan{
+		Plan: Plan{
+			Cycle:          p.MEMSCycle,
+			PerStreamBytes: float64(p.PerStreamDRAM),
+			TotalDRAMBytes: float64(p.TotalDRAM),
+			IOBytes:        float64(p.PerStreamDRAM),
+		},
+		DiskCycle:       p.DiskCycle,
+		MEMSCycle:       p.MEMSCycle,
+		M:               p.M,
+		DiskIOBytes:     float64(p.DiskIOSize),
+		MEMSBufferBytes: float64(p.MEMSBufferUse),
+	}, nil
+}
+
+// CachePolicy selects how cached content is spread over the bank.
+type CachePolicy = model.CachePolicy
+
+// Cache-management policies (paper §3.2).
+const (
+	Striped    = model.Striped
+	Replicated = model.Replicated
+)
+
+// CachePlan is the sizing of a MEMS-cached server.
+type CachePlan struct {
+	// HitRatio is Eq 11's h for the configuration.
+	HitRatio float64
+	// FromCache and FromDisk split the population.
+	FromCache, FromDisk int
+	// CacheSide and DiskSide size each group's buffers.
+	CacheSide, DiskSide Plan
+	// TotalDRAMBytes combines both sides.
+	TotalDRAMBytes float64
+}
+
+// PlanMEMSCache sizes a server that pins popular content on a k-device
+// MEMS cache (Theorems 3–4, Eq 9–11). contentBytes is the catalog
+// footprint Size_disk, and x:y is the popularity distribution ("x% of
+// titles draw y% of accesses").
+func PlanMEMSCache(load Load, dsk, mem StorageDevice, k int, policy CachePolicy,
+	contentBytes, x, y float64) (CachePlan, error) {
+
+	cfg := model.CacheConfig{
+		Load:          load.toModel(),
+		Disk:          dsk.diskSpec(),
+		MEMS:          mem.memsSpec(),
+		K:             k,
+		Policy:        policy,
+		SizePerDevice: units.Bytes(mem.CapacityBytes),
+		ContentSize:   units.Bytes(contentBytes),
+		X:             x,
+		Y:             y,
+	}
+	p, err := model.CachePlan(cfg)
+	if err != nil {
+		return CachePlan{}, err
+	}
+	return CachePlan{
+		HitRatio:       p.HitRatio,
+		FromCache:      p.FromCache,
+		FromDisk:       p.FromDisk,
+		CacheSide:      fromDirect(p.CacheSide),
+		DiskSide:       fromDirect(p.DiskSide),
+		TotalDRAMBytes: float64(p.TotalDRAM),
+	}, nil
+}
+
+// HitRatio evaluates the paper's Eq 11: the cache hit ratio under an X:Y
+// popularity distribution when the fraction p of the content is cached.
+func HitRatio(x, y, p float64) (float64, error) {
+	return model.HitRatio(x, y, p)
+}
+
+// MaxStreams returns the largest stream count a direct server sustains
+// with at most dramBytes of DRAM (0 = unlimited).
+func MaxStreams(bitRate float64, dsk StorageDevice, dramBytes float64) int {
+	return model.MaxStreamsDirect(units.ByteRate(bitRate), dsk.diskSpec(), units.Bytes(dramBytes))
+}
+
+// MaxStreamsWithCache returns the largest stream count a cache-equipped
+// server sustains with at most dramBytes of DRAM.
+func MaxStreamsWithCache(bitRate float64, dsk, mem StorageDevice, k int,
+	policy CachePolicy, contentBytes, x, y, dramBytes float64) int {
+
+	cfg := model.CacheConfig{
+		Load:          model.StreamLoad{N: 1, BitRate: units.ByteRate(bitRate)},
+		Disk:          dsk.diskSpec(),
+		MEMS:          mem.memsSpec(),
+		K:             k,
+		Policy:        policy,
+		SizePerDevice: units.Bytes(mem.CapacityBytes),
+		ContentSize:   units.Bytes(contentBytes),
+		X:             x,
+		Y:             y,
+	}
+	return model.MaxStreamsCached(cfg, units.Bytes(dramBytes))
+}
+
+// Costs carries the buffering price points ($/GB for DRAM and MEMS, plus
+// the per-device MEMS capacity used by the per-device price model).
+type Costs struct {
+	DRAMPerGB    float64
+	MEMSPerGB    float64
+	MEMSDeviceGB float64
+}
+
+// DefaultCosts returns the paper's Table 3 price points.
+func DefaultCosts() Costs {
+	return Costs{DRAMPerGB: 20, MEMSPerGB: 1, MEMSDeviceGB: 10}
+}
+
+func (c Costs) toModel() model.CostModel {
+	return model.CostModel{
+		DRAMPerGB: units.Dollars(c.DRAMPerGB),
+		MEMSPerGB: units.Dollars(c.MEMSPerGB),
+		MEMSSize:  units.Bytes(c.MEMSDeviceGB * 1e9),
+	}
+}
+
+// BufferingCost prices a direct server's DRAM (Eq 1) in dollars.
+func BufferingCost(load Load, dsk StorageDevice, costs Costs) (float64, error) {
+	d, err := model.CostWithoutMEMS(load.toModel(), dsk.diskSpec(), costs.toModel())
+	return float64(d), err
+}
+
+// BufferedCost prices a MEMS-buffered server (Eq 2) in dollars.
+func BufferedCost(load Load, dsk, mem StorageDevice, k int, costs Costs) (float64, error) {
+	cfg := model.BufferConfig{
+		Load:          load.toModel(),
+		Disk:          dsk.diskSpec(),
+		MEMS:          mem.memsSpec(),
+		K:             k,
+		SizePerDevice: units.Bytes(mem.CapacityBytes),
+	}
+	d, err := model.CostWithBuffer(cfg, costs.toModel())
+	return float64(d), err
+}

@@ -1,0 +1,211 @@
+package memstream
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestDeviceCatalog(t *testing.T) {
+	g3 := G3MEMS()
+	if g3.RateBytesPerSec != 320e6 || g3.CapacityBytes != 10e9 {
+		t.Errorf("G3 = %+v", g3)
+	}
+	if g3.MaxLatency != 590*time.Microsecond {
+		t.Errorf("G3 max latency = %v", g3.MaxLatency)
+	}
+	fd := FutureDisk()
+	if fd.RateBytesPerSec != 300e6 || fd.CapacityBytes != 1e12 {
+		t.Errorf("FutureDisk = %+v", fd)
+	}
+	for _, d := range []StorageDevice{G1MEMS(), G2MEMS(), Atlas10K3()} {
+		if d.RateBytesPerSec <= 0 || d.CapacityBytes <= 0 || d.Name == "" {
+			t.Errorf("catalog device %+v degenerate", d)
+		}
+	}
+	// Generations improve monotonically.
+	if !(G1MEMS().RateBytesPerSec < G2MEMS().RateBytesPerSec &&
+		G2MEMS().RateBytesPerSec < G3MEMS().RateBytesPerSec) {
+		t.Error("MEMS generations not monotone in rate")
+	}
+}
+
+func TestPlanDirect(t *testing.T) {
+	plan, err := PlanDirect(Load{Streams: 100, BitRate: 1e6}, FutureDisk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Cycle <= 0 || plan.TotalDRAMBytes <= 0 {
+		t.Fatalf("degenerate plan %+v", plan)
+	}
+	// Hand-checked: T = 100·0.0043·3e8/(2e8) = 0.645s, total = 64.5MB.
+	if math.Abs(plan.Cycle.Seconds()-0.645) > 1e-9 {
+		t.Errorf("cycle = %v", plan.Cycle)
+	}
+	if math.Abs(plan.TotalDRAMBytes-64.5e6) > 100 {
+		t.Errorf("total DRAM = %v", plan.TotalDRAMBytes)
+	}
+	if _, err := PlanDirect(Load{Streams: 0, BitRate: 1e6}, FutureDisk()); err == nil {
+		t.Error("zero streams accepted")
+	}
+}
+
+func TestPlanMEMSBuffer(t *testing.T) {
+	load := Load{Streams: 1000, BitRate: 1e5}
+	direct, err := PlanDirect(load, FutureDisk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buffered, err := PlanMEMSBuffer(load, FutureDisk(), G3MEMS(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buffered.TotalDRAMBytes >= direct.TotalDRAMBytes {
+		t.Errorf("buffered DRAM %v not below direct %v",
+			buffered.TotalDRAMBytes, direct.TotalDRAMBytes)
+	}
+	if buffered.M < 1 || buffered.M >= load.Streams {
+		t.Errorf("M = %d", buffered.M)
+	}
+	if buffered.DiskIOBytes <= direct.IOBytes {
+		t.Error("staged disk IOs should be larger than direct IOs")
+	}
+	if buffered.MEMSBufferBytes > 2*G3MEMS().CapacityBytes {
+		t.Error("staged data exceeds the bank")
+	}
+}
+
+func TestPlanMEMSCache(t *testing.T) {
+	plan, err := PlanMEMSCache(Load{Streams: 1000, BitRate: 1e4},
+		FutureDisk(), G3MEMS(), 1, Striped, 1e12, 1, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plan.HitRatio-0.99) > 1e-12 {
+		t.Errorf("hit ratio = %v", plan.HitRatio)
+	}
+	if plan.FromCache != 990 || plan.FromDisk != 10 {
+		t.Errorf("split = %d/%d", plan.FromCache, plan.FromDisk)
+	}
+	if plan.TotalDRAMBytes != plan.CacheSide.TotalDRAMBytes+plan.DiskSide.TotalDRAMBytes {
+		t.Error("totals disagree")
+	}
+}
+
+func TestHitRatioExported(t *testing.T) {
+	h, err := HitRatio(10, 90, 0.05)
+	if err != nil || math.Abs(h-0.45) > 1e-12 {
+		t.Fatalf("HitRatio = %v, %v", h, err)
+	}
+	if _, err := HitRatio(0, 90, 0.05); err == nil {
+		t.Error("bad X accepted")
+	}
+}
+
+func TestMaxStreams(t *testing.T) {
+	if n := MaxStreams(1e7, FutureDisk(), 0); n != 29 {
+		t.Errorf("HDTV max = %d, want 29", n)
+	}
+	capped := MaxStreams(1e4, FutureDisk(), 5e9)
+	uncapped := MaxStreams(1e4, FutureDisk(), 0)
+	if capped <= 0 || capped >= uncapped {
+		t.Errorf("capped=%d uncapped=%d", capped, uncapped)
+	}
+}
+
+func TestMaxStreamsWithCache(t *testing.T) {
+	base := MaxStreams(1e4, FutureDisk(), 2e9)
+	cached := MaxStreamsWithCache(1e4, FutureDisk(), G3MEMS(), 1, Striped, 1e12, 1, 99, 2e9)
+	if cached <= base {
+		t.Errorf("cached %d not above direct %d", cached, base)
+	}
+}
+
+func TestCosts(t *testing.T) {
+	c := DefaultCosts()
+	if c.DRAMPerGB/c.MEMSPerGB != 20 {
+		t.Error("price ratio wrong")
+	}
+	load := Load{Streams: 10000, BitRate: 1e4}
+	without, err := BufferingCost(load, FutureDisk(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, err := BufferedCost(load, FutureDisk(), G3MEMS(), 2, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with >= without {
+		t.Errorf("buffered $%.2f not below direct $%.2f", with, without)
+	}
+}
+
+func TestSimulateDirect(t *testing.T) {
+	res, err := Simulate(SimConfig{
+		Architecture: DirectServer,
+		Streams:      50,
+		BitRate:      1e6,
+		Seed:         3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Underflows != 0 {
+		t.Errorf("underflows = %d", res.Underflows)
+	}
+	if res.DiskIOs == 0 || res.PeakDRAMBytes <= 0 {
+		t.Errorf("result %+v lacks activity", res)
+	}
+}
+
+func TestSimulateBufferedAndCached(t *testing.T) {
+	b, err := Simulate(SimConfig{
+		Architecture: BufferedServer,
+		Streams:      100,
+		BitRate:      1e5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Underflows != 0 || b.MEMSIOs == 0 {
+		t.Errorf("buffered: %+v", b)
+	}
+	c, err := Simulate(SimConfig{
+		Architecture: CachedServer,
+		Streams:      200,
+		BitRate:      1e5,
+		Titles:       400,
+		CachePolicy:  Replicated,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Underflows != 0 || c.FromCache == 0 {
+		t.Errorf("cached: %+v", c)
+	}
+}
+
+func TestArchitectureString(t *testing.T) {
+	if DirectServer.String() != "direct" || BufferedServer.String() != "mems-buffer" ||
+		CachedServer.String() != "mems-cache" {
+		t.Error("architecture names wrong")
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := Experiments()
+	if len(ids) < 14 {
+		t.Fatalf("experiments = %v", ids)
+	}
+	title, ok := ExperimentTitle("fig2")
+	if !ok || title == "" {
+		t.Error("fig2 title missing")
+	}
+	out, err := RunExperiment("table2")
+	if err != nil || len(out) < 100 {
+		t.Errorf("RunExperiment(table2): %d bytes, %v", len(out), err)
+	}
+	if _, err := RunExperiment("nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,196 @@
+package memstream
+
+import (
+	"fmt"
+	"time"
+
+	"memstream/internal/disk"
+	"memstream/internal/experiments"
+	"memstream/internal/mems"
+	"memstream/internal/server"
+	"memstream/internal/units"
+)
+
+// Architecture selects the simulated server organization.
+type Architecture uint8
+
+// Architectures.
+const (
+	// DirectServer streams straight from disk to DRAM.
+	DirectServer Architecture = iota
+	// BufferedServer stages every disk IO through a MEMS bank.
+	BufferedServer
+	// CachedServer serves popular titles from a MEMS cache.
+	CachedServer
+	// HybridServer splits the bank between caching and buffering (the
+	// paper's §7 future-work configuration).
+	HybridServer
+)
+
+// String names the architecture.
+func (a Architecture) String() string {
+	switch a {
+	case DirectServer:
+		return "direct"
+	case BufferedServer:
+		return "mems-buffer"
+	case CachedServer:
+		return "mems-cache"
+	case HybridServer:
+		return "mems-hybrid"
+	}
+	return fmt.Sprintf("architecture(%d)", uint8(a))
+}
+
+// SimConfig describes one discrete-event simulation run. Devices are
+// selected by name from the built-in catalogs to keep the simulation
+// entry point self-contained; zero values select the paper's 2007
+// defaults (FutureDisk, G3 MEMS, k=2, 10:90 popularity over 100 titles).
+type SimConfig struct {
+	Architecture Architecture
+	Streams      int
+	BitRate      float64 // bytes per second
+	MEMSDevices  int
+	// CacheDevices is the cache share of the bank for HybridServer
+	// (defaults to MEMSDevices/2).
+	CacheDevices int
+	CachePolicy  CachePolicy
+	Titles       int
+	PopularityX  float64
+	PopularityY  float64
+
+	// Writers marks that many of the streams as recorders (BufferedServer
+	// only) — the write-stream extension of §3.1.
+	Writers int
+	// UseEDF runs the DirectServer under earliest-deadline-first instead
+	// of time-cycle scheduling.
+	UseEDF bool
+	// VBRCoV makes DirectServer playback variable-bit-rate with this
+	// coefficient of variation, handled as CBR + cushion (footnote 1).
+	VBRCoV float64
+	// BestEffort adds low-priority background reads that soak up the
+	// MEMS bank's spare bandwidth (BufferedServer, §3.1.2).
+	BestEffort bool
+	// PausedFraction makes DirectServer playback interactive: this
+	// fraction of stream-time is spent paused, with the scheduler
+	// reclaiming the skipped IOs' bandwidth.
+	PausedFraction float64
+
+	Duration time.Duration // 0 = a few IO cycles
+	Seed     uint64
+}
+
+// SimResult reports a run's measured behaviour.
+type SimResult struct {
+	Architecture  Architecture
+	Streams       int
+	SimulatedTime time.Duration
+
+	// Underflows counts playback intervals that found an empty buffer;
+	// UnderflowBytes is the total missed data.
+	Underflows     int
+	UnderflowBytes float64
+
+	// PlannedDRAMBytes is the model's N·S; PeakDRAMBytes is the measured
+	// high-water occupancy.
+	PlannedDRAMBytes float64
+	PeakDRAMBytes    float64
+
+	// Utilization of the devices over the run.
+	DiskUtilization float64
+	MEMSUtilization float64
+
+	// IO counts.
+	DiskIOs uint64
+	MEMSIOs uint64
+
+	// FromCache/FromDisk split the population in CachedServer runs.
+	FromCache, FromDisk int
+
+	// WriterPeakDRAMBytes is the largest backlog a recorder held while
+	// its data was being staged (runs with Writers > 0).
+	WriterPeakDRAMBytes float64
+
+	// BestEffortBytes is the non-real-time data moved in spare bank
+	// bandwidth (runs with BestEffort).
+	BestEffortBytes float64
+}
+
+// Simulate executes one run of the full server simulator.
+func Simulate(cfg SimConfig) (SimResult, error) {
+	mode := server.Direct
+	switch cfg.Architecture {
+	case BufferedServer:
+		mode = server.Buffered
+	case CachedServer:
+		mode = server.Cached
+	case HybridServer:
+		mode = server.Hybrid
+	}
+	k := cfg.MEMSDevices
+	if k == 0 {
+		k = 2
+	}
+	cacheDevs := cfg.CacheDevices
+	if mode == server.Hybrid && cacheDevs == 0 {
+		cacheDevs = k / 2
+	}
+	scfg := server.Config{
+		Mode:           mode,
+		Disk:           disk.FutureDisk(),
+		MEMS:           mems.G3(),
+		K:              k,
+		CacheDevices:   cacheDevs,
+		CachePolicy:    cfg.CachePolicy,
+		N:              cfg.Streams,
+		Writers:        cfg.Writers,
+		BitRate:        units.ByteRate(cfg.BitRate),
+		Titles:         cfg.Titles,
+		X:              cfg.PopularityX,
+		Y:              cfg.PopularityY,
+		UseEDF:         cfg.UseEDF,
+		VBRCoV:         cfg.VBRCoV,
+		BestEffort:     cfg.BestEffort,
+		PausedFraction: cfg.PausedFraction,
+		Duration:       cfg.Duration,
+		Seed:           cfg.Seed,
+	}
+	res, err := server.Run(scfg)
+	if err != nil {
+		return SimResult{}, err
+	}
+	return SimResult{
+		Architecture:        cfg.Architecture,
+		Streams:             res.Streams,
+		SimulatedTime:       res.SimulatedTime,
+		Underflows:          res.Underflows,
+		UnderflowBytes:      float64(res.UnderflowBytes),
+		PlannedDRAMBytes:    float64(res.PlannedDRAM),
+		PeakDRAMBytes:       float64(res.DRAMHighWater),
+		DiskUtilization:     res.DiskUtil,
+		MEMSUtilization:     res.MEMSUtil,
+		DiskIOs:             res.DiskIOs,
+		MEMSIOs:             res.MEMSIOs,
+		FromCache:           res.FromCache,
+		FromDisk:            res.FromDisk,
+		WriterPeakDRAMBytes: float64(res.WriterPeakDRAM),
+		BestEffortBytes:     float64(res.BestEffortBytes),
+	}, nil
+}
+
+// Experiments lists the IDs of the paper artifacts this library can
+// regenerate (tables, figures, and the validation run).
+func Experiments() []string { return experiments.IDs() }
+
+// ExperimentTitle returns an experiment's display title.
+func ExperimentTitle(id string) (string, bool) { return experiments.Title(id) }
+
+// RunExperiment regenerates one paper artifact and returns its rendered
+// text output.
+func RunExperiment(id string) (string, error) {
+	res, err := experiments.Run(id)
+	if err != nil {
+		return "", err
+	}
+	return res.Output, nil
+}
