@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench repro fuzz cover clean
+.PHONY: all build test vet race bench repro suite fuzz cover clean
 
 all: build vet test
 
@@ -15,6 +15,11 @@ vet:
 test:
 	$(GO) test ./...
 
+# race runs the full test suite under the race detector — the parallel
+# experiment runner must stay race-clean.
+race:
+	$(GO) test -race ./...
+
 # bench regenerates every paper artifact as a testing.B benchmark.
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -22,6 +27,11 @@ bench:
 # repro writes every table/figure to results/ as text artifacts.
 repro:
 	$(GO) run ./cmd/memsbench -out results
+
+# suite runs every experiment on a parallel worker pool and writes the
+# per-run metrics document next to the artifacts.
+suite:
+	$(GO) run ./cmd/memsim -experiments -parallel 0 -out results -json results/metrics.json
 
 # fuzz gives each fuzz target a short budget; extend for deeper runs.
 fuzz:

@@ -2,14 +2,16 @@
 //
 // Usage:
 //
-//	memsbench                  # run every experiment
-//	memsbench -list            # list experiment IDs
-//	memsbench -run fig9a       # run one experiment
-//	memsbench -run fig6 -csv   # also emit the series as CSV
-//	memsbench -out results/    # write each artifact to a file
+//	memsbench                       # run every experiment
+//	memsbench -list                 # list experiment IDs
+//	memsbench -run fig9a            # run one experiment
+//	memsbench -run 'fig9.*' -csv    # run a family, emit series as CSV
+//	memsbench -out results/         # write each artifact to a file
+//	memsbench -parallel 8 -json m.json  # parallel suite + metrics doc
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -33,9 +35,12 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("memsbench", flag.ContinueOnError)
 	fs.SetOutput(w)
 	list := fs.Bool("list", false, "list experiment IDs and exit")
-	runID := fs.String("run", "", "run a single experiment by ID (default: all)")
+	runPat := fs.String("run", "", "run experiments matching this anchored regexp (default: all)")
 	csv := fs.Bool("csv", false, "append CSV series data to plot experiments")
 	out := fs.String("out", "", "write artifacts to this directory instead of stdout")
+	parallel := fs.Int("parallel", 1, "worker count for the suite (0 = GOMAXPROCS)")
+	seed := fs.Uint64("seed", experiments.DefaultSeed, "root seed; per-experiment seeds derive from it")
+	jsonPath := fs.String("json", "", "write the per-run metrics document to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -48,26 +53,33 @@ func run(args []string, w io.Writer) error {
 		return nil
 	}
 
-	ids := experiments.IDs()
-	if *runID != "" {
-		ids = []string{*runID}
+	ids, err := experiments.Match(*runPat)
+	if err != nil {
+		return err
 	}
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			return err
 		}
 	}
-	for _, id := range ids {
-		res, err := experiments.Run(id)
-		if err != nil {
-			return err
+
+	suite, err := experiments.RunSuite(ids, *seed, *parallel, nil)
+	if err != nil {
+		return err
+	}
+	// Artifacts print in ID order regardless of completion order, so the
+	// output is byte-identical at any -parallel value.
+	for _, rep := range suite.Runs {
+		if rep.Error != "" {
+			return fmt.Errorf("%s: %s", rep.ID, rep.Error)
 		}
+		res := rep.Result
 		text := fmt.Sprintf("==== %s: %s ====\n%s\n", res.ID, res.Title, res.Output)
 		if *csv && len(res.Series) > 0 {
 			text += "\nCSV:\n" + plot.CSV(res.Series)
 		}
 		if *out != "" {
-			path := filepath.Join(*out, id+".txt")
+			path := filepath.Join(*out, rep.ID+".txt")
 			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
 				return err
 			}
@@ -76,5 +88,19 @@ func run(args []string, w io.Writer) error {
 		}
 		fmt.Fprint(w, text)
 	}
+	if *jsonPath != "" {
+		if err := writeMetrics(*jsonPath, suite); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "metrics: %s (%d runs, wall %v)\n", *jsonPath, len(suite.Runs), suite.Wall.Round(1e6))
+	}
 	return nil
+}
+
+func writeMetrics(path string, suite experiments.SuiteReport) error {
+	data, err := json.MarshalIndent(suite, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

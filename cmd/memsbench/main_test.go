@@ -1,10 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"memstream/internal/experiments"
 )
 
 func TestRunList(t *testing.T) {
@@ -74,5 +77,56 @@ func TestRunBadFlag(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-nope"}, &out); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunRegexpFamily(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-run", "table."}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"==== table1", "==== table2", "==== table3"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("family run missing %s", want)
+		}
+	}
+	if strings.Contains(out.String(), "==== fig") {
+		t.Error("family run matched outside the family")
+	}
+}
+
+func TestRunParallelOutputIdentical(t *testing.T) {
+	var serial, parallel strings.Builder
+	if err := run([]string{"-run", "table.|besteffort|ablation-devcache", "-parallel", "1"}, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-run", "table.|besteffort|ablation-devcache", "-parallel", "8"}, &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Error("-parallel changed the rendered output")
+	}
+}
+
+func TestRunJSONMetrics(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "metrics.json")
+	var out strings.Builder
+	if err := run([]string{"-run", "table1", "-seed", "99", "-json", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var suite experiments.SuiteReport
+	if err := json.Unmarshal(data, &suite); err != nil {
+		t.Fatalf("metrics not valid JSON: %v", err)
+	}
+	if suite.RootSeed != 99 || len(suite.Runs) != 1 || suite.Runs[0].ID != "table1" {
+		t.Errorf("suite = %+v", suite)
+	}
+	if !strings.Contains(out.String(), "metrics: ") {
+		t.Error("no metrics progress line")
 	}
 }

@@ -1,7 +1,9 @@
 // Command memsim exercises the device simulators directly: it generates or
 // replays an IO trace against the disk and MEMS models and reports
 // per-device service behaviour — a small standalone counterpart to the
-// DiskSim-style tooling the CMU MEMS papers used.
+// DiskSim-style tooling the CMU MEMS papers used. With -experiments it
+// instead drives the full experiment suite on a parallel worker pool with
+// per-run metrics.
 //
 // Usage:
 //
@@ -9,16 +11,22 @@
 //	memsim -device futuredisk -policy c-look ...    # scheduled batch
 //	memsim -record trace.txt ...                    # save the trace
 //	memsim -replay trace.txt -device g3             # replay a saved trace
+//	memsim -experiments -parallel 8 -json m.json    # parallel experiment suite
+//	memsim -experiments -run 'fig9.*' -out results  # a family, artifacts to files
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"time"
 
 	"memstream/internal/device"
 	"memstream/internal/disk"
+	"memstream/internal/experiments"
 	"memstream/internal/mems"
 	"memstream/internal/sim"
 	"memstream/internal/trace"
@@ -40,7 +48,19 @@ func main() {
 	policy := flag.String("policy", "fcfs", "scheduling for generated batches: fcfs, sptf/sstf, elevator/c-look")
 	record := flag.String("record", "", "write the generated trace to this file")
 	replay := flag.String("replay", "", "replay a trace file instead of generating")
+	exp := flag.Bool("experiments", false, "run the experiment suite instead of a device trace")
+	runPat := flag.String("run", "", "with -experiments: run experiments matching this anchored regexp (default: all)")
+	parallel := flag.Int("parallel", 0, "with -experiments: worker count (0 = GOMAXPROCS)")
+	jsonPath := flag.String("json", "", "with -experiments: write the per-run metrics document to this file")
+	outDir := flag.String("out", "", "with -experiments: write artifact text files to this directory")
 	flag.Parse()
+
+	if *exp {
+		if err := runExperiments(*runPat, *seed, *parallel, *jsonPath, *outDir, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	dev, isDisk, err := openDevice(*devName)
 	if err != nil {
@@ -198,6 +218,63 @@ func report(dev serviceable, events []trace.Event, cs []device.Completion) {
 	fmt.Printf("avg transfer:    %v\n", (xfer / time.Duration(len(cs))).Round(time.Microsecond))
 	fmt.Printf("utilization:     %.1f%% of media rate\n",
 		100*float64(units.RateOf(bytes, span))/float64(m.Rate))
+}
+
+// runExperiments drives the experiment suite on a parallel worker pool,
+// printing one progress line per completed run. Artifacts are written in
+// ID order after the suite completes, so -out trees are byte-identical at
+// any -parallel value; only the progress lines reflect completion order.
+func runExperiments(pattern string, rootSeed uint64, parallel int, jsonPath, outDir string, w io.Writer) error {
+	ids, err := experiments.Match(pattern)
+	if err != nil {
+		return err
+	}
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	progress := func(done, total int, rep experiments.RunReport) {
+		status := fmt.Sprintf("events=%d streams=%d underflows=%d",
+			rep.Events, rep.Streams, rep.Underflows)
+		if rep.Error != "" {
+			status = "FAILED: " + rep.Error
+		}
+		fmt.Fprintf(w, "[%*d/%d] %-18s %8v  %s\n",
+			len(fmt.Sprint(total)), done, total, rep.ID, rep.Wall.Round(time.Millisecond), status)
+	}
+	suite, err := experiments.RunSuite(ids, rootSeed, parallel, progress)
+	if err != nil {
+		return err
+	}
+	for _, rep := range suite.Runs {
+		if rep.Error != "" {
+			continue
+		}
+		if outDir != "" {
+			text := fmt.Sprintf("==== %s: %s ====\n%s\n", rep.ID, rep.Title, rep.Result.Output)
+			path := filepath.Join(outDir, rep.ID+".txt")
+			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(suite, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "suite: %d runs, %d failed, parallel=%d, seed=%d, wall %v\n",
+		len(suite.Runs), suite.Failed(), suite.Parallel, suite.RootSeed,
+		suite.Wall.Round(time.Millisecond))
+	if n := suite.Failed(); n > 0 {
+		return fmt.Errorf("%d of %d experiments failed", n, len(suite.Runs))
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -1,9 +1,15 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"memstream/internal/device"
+	"memstream/internal/experiments"
 	"memstream/internal/trace"
 	"memstream/internal/units"
 )
@@ -111,5 +117,56 @@ func TestOpenArrayDevices(t *testing.T) {
 		if len(cs) != 50 {
 			t.Fatalf("%s served %d of 50", name, len(cs))
 		}
+	}
+}
+
+func TestRunExperimentsSuite(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "m.json")
+	outA := filepath.Join(dir, "a")
+	outB := filepath.Join(dir, "b")
+	var log strings.Builder
+	if err := runExperiments("table.|besteffort", 5, 1, jsonPath, outA, &log); err != nil {
+		t.Fatal(err)
+	}
+	if err := runExperiments("table.|besteffort", 5, 4, "", outB, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	// Artifacts are byte-identical regardless of worker count.
+	for _, id := range []string{"besteffort", "table1", "table2", "table3"} {
+		a, err := os.ReadFile(filepath.Join(outA, id+".txt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(outB, id+".txt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Errorf("%s artifact differs between parallel=1 and parallel=4", id)
+		}
+	}
+	var suite experiments.SuiteReport
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &suite); err != nil {
+		t.Fatalf("metrics not valid JSON: %v", err)
+	}
+	if suite.RootSeed != 5 || len(suite.Runs) != 4 {
+		t.Errorf("suite = %+v", suite)
+	}
+	if !strings.Contains(log.String(), "suite: 4 runs, 0 failed") {
+		t.Errorf("missing summary line:\n%s", log.String())
+	}
+	if strings.Count(log.String(), "[") != 4 {
+		t.Errorf("want one progress line per run:\n%s", log.String())
+	}
+}
+
+func TestRunExperimentsBadPattern(t *testing.T) {
+	if err := runExperiments("nope99", 1, 1, "", "", io.Discard); err == nil {
+		t.Error("unmatched pattern accepted")
 	}
 }

@@ -27,7 +27,7 @@ func init() {
 // does. For a sweep of loads we compare total DRAM under time-cycle
 // scheduling (Theorem 1), the DRAM-optimal GSS, and a 2-device MEMS
 // buffer.
-func runAblationGSS() (Result, error) {
+func runAblationGSS(uint64) (Result, error) {
 	d := paperDisk()
 	m := paperMEMS()
 	minLat := units.Milliseconds(0.3 + 1.5) // track switch + avg rotation
@@ -76,7 +76,8 @@ func runAblationGSS() (Result, error) {
 
 // runAblationEDF contrasts the two real-time scheduler classes of the
 // related work in simulation: same load, same IO sizes, different order.
-func runAblationEDF() (Result, error) {
+func runAblationEDF(seed uint64) (Result, error) {
+	var met Metrics
 	t := &plot.Table{
 		Title: "Time-cycle (C-LOOK order) vs EDF (deadline order), simulated",
 		Headers: []string{"load", "scheduler", "underflows", "disk busy/IO",
@@ -87,13 +88,14 @@ func runAblationEDF() (Result, error) {
 			cfg := server.Config{
 				Mode: server.Direct, Disk: disk.FutureDisk(), MEMS: mems.G3(),
 				K: 2, N: n, BitRate: 1 * units.MBPS, Titles: 100,
-				X: 10, Y: 90, Seed: 5, UseEDF: edf,
+				X: 10, Y: 90, Seed: seed, UseEDF: edf,
 				Duration: 10 * time.Second,
 			}
 			res, err := server.Run(cfg)
 			if err != nil {
 				return Result{}, err
 			}
+			met.addRun(res)
 			name := "time-cycle"
 			if edf {
 				name = "EDF"
@@ -116,13 +118,13 @@ func runAblationEDF() (Result, error) {
 		"order forfeits the elevator's seek amortization — its per-IO busy time\n" +
 		"is consistently higher, which is why the paper builds on the\n" +
 		"time-cycle model (§3, §6).\n"
-	return Result{Output: out}, nil
+	return Result{Output: out, Metrics: met}, nil
 }
 
 // runAblationLayout measures the §7 placement policy on the MEMS device:
 // positioning time for lock-step round-robin streaming under contiguous
 // vs progress-interleaved layouts.
-func runAblationLayout() (Result, error) {
+func runAblationLayout(uint64) (Result, error) {
 	const n = 32
 	const ioBytes = 1 * units.MB
 	run := func(mk func(d *mems.Device) (mems.Layout, error)) (time.Duration, error) {

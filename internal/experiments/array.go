@@ -19,7 +19,7 @@ func init() {
 // unchanged latency, so Theorem 1 prices its DRAM directly. We fix a
 // stream population near a single drive's limit and compare the total
 // buffering+hardware bill of each escape route.
-func runArray() (Result, error) {
+func runArray(uint64) (Result, error) {
 	d := paperDisk()
 	m := paperMEMS()
 	diskPrice := units.Dollars(200) // FutureDisk mid-range, Table 3

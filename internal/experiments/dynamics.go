@@ -22,7 +22,7 @@ func init() {
 // MEMS-cached), each admitting sessions up to the capacity its plan
 // supports. The MEMS configurations' larger capacity regions translate
 // into lower blocking at equal offered load.
-func runDynamics() (Result, error) {
+func runDynamics(seed uint64) (Result, error) {
 	const budget = units.Dollars(100)
 	bitRate := 100 * units.KBPS
 
@@ -56,7 +56,7 @@ func runDynamics() (Result, error) {
 				MeanHold:    10 * time.Minute,
 				BitRate:     bitRate,
 			}
-			sessions, err := p.Generate(sim.NewRNG(11), 6*time.Hour)
+			sessions, err := p.Generate(sim.NewRNG(seed), 6*time.Hour)
 			if err != nil {
 				return Result{}, err
 			}

@@ -8,35 +8,62 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"memstream/internal/disk"
 	"memstream/internal/mems"
 	"memstream/internal/model"
 	"memstream/internal/plot"
+	"memstream/internal/server"
 	"memstream/internal/units"
 )
 
-// Result is one regenerated artifact.
-type Result struct {
-	ID     string
-	Title  string
-	Output string        // rendered table/chart text
-	Series []plot.Series // structured data, when the artifact is a plot
+// Metrics is one run's observability record: what the run cost and what
+// the simulations inside it did. Analytic (closed-form) experiments leave
+// the simulation counters at zero.
+type Metrics struct {
+	Seed       uint64        `json:"seed"`
+	Wall       time.Duration `json:"wall_ns"` // filled by the suite runner
+	Events     uint64        `json:"events"`  // simulation-kernel events fired
+	Streams    int           `json:"streams"` // streams served across embedded sims
+	Underflows int           `json:"underflows"`
 }
 
-// runner produces one artifact.
+// addRun folds one server simulation's counters into the metrics.
+func (m *Metrics) addRun(sr server.Result) {
+	m.Events += sr.Events
+	m.Streams += sr.Streams
+	m.Underflows += sr.Underflows
+}
+
+// Result is one regenerated artifact.
+type Result struct {
+	ID      string
+	Title   string
+	Output  string        // rendered table/chart text
+	Series  []plot.Series // structured data, when the artifact is a plot
+	Metrics Metrics
+}
+
+// runner produces one artifact. Every run derives its randomness from the
+// seed argument alone, so a (id, seed) pair is a pure function — the
+// property the parallel suite runner depends on.
 type runner struct {
 	title string
-	run   func() (Result, error)
+	run   func(seed uint64) (Result, error)
 }
 
 // registry maps experiment IDs to runners; populated by the per-figure
 // files' init functions.
 var registry = map[string]runner{}
 
-func register(id, title string, run func() (Result, error)) {
+func register(id, title string, run func(seed uint64) (Result, error)) {
 	registry[id] = runner{title: title, run: run}
 }
+
+// DefaultSeed seeds single-experiment runs that don't care about the
+// seed (tests, the -run CLI path without an explicit -seed).
+const DefaultSeed uint64 = 1
 
 // IDs returns all experiment IDs in stable order.
 func IDs() []string {
@@ -54,18 +81,22 @@ func Title(id string) (string, bool) {
 	return r.title, ok
 }
 
-// Run executes one experiment by ID.
-func Run(id string) (Result, error) {
+// Run executes one experiment by ID with DefaultSeed.
+func Run(id string) (Result, error) { return RunSeeded(id, DefaultSeed) }
+
+// RunSeeded executes one experiment by ID with an explicit seed.
+func RunSeeded(id string, seed uint64) (Result, error) {
 	r, ok := registry[id]
 	if !ok {
 		return Result{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
 	}
-	res, err := r.run()
+	res, err := r.run(seed)
 	if err != nil {
 		return Result{}, fmt.Errorf("experiments: %s: %w", id, err)
 	}
 	res.ID = id
 	res.Title = r.title
+	res.Metrics.Seed = seed
 	return res, nil
 }
 

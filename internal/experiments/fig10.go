@@ -16,7 +16,7 @@ func init() {
 // throughput as the striped MEMS cache grows from k=1 to 8 devices, at a
 // fixed $100 buffering budget and 100KB/s streams. Each device caches 1%
 // of the content (10GB of 1TB); each device's $10 displaces 500MB of DRAM.
-func runFig10() (Result, error) {
+func runFig10(uint64) (Result, error) {
 	const budget = units.Dollars(100)
 	const bitRate = 100 * units.KBPS
 	base := directThroughput(bitRate, budget)

@@ -15,7 +15,7 @@ func init() {
 // runFig2 reproduces Figure 2: effective throughput of the FutureDisk (at
 // average access latency) and the G3 MEMS device (at maximum latency) as
 // the average IO size grows from 16KB to 10MB.
-func runFig2() (Result, error) {
+func runFig2(uint64) (Result, error) {
 	d := paperDisk()
 	m := paperMEMS()
 

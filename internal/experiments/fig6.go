@@ -53,7 +53,7 @@ func streamCounts(nMax int) []int {
 // MEMS buffer bank (minimal feasible bank of at least two G3 devices, as
 // in §5.1). Points beyond a configuration's feasibility limit are omitted,
 // which is how the paper's curves terminate.
-func runFig6() (Result, error) {
+func runFig6(uint64) (Result, error) {
 	d := paperDisk()
 	m := paperMEMS()
 

@@ -51,7 +51,7 @@ func costReductionAt(bitRate units.ByteRate, ratio float64) (float64, bool) {
 
 // runFig7a reproduces Figure 7(a): cost-reduction curves for the four
 // media classes as the disk/MEMS latency ratio sweeps 1..10.
-func runFig7a() (Result, error) {
+func runFig7a(uint64) (Result, error) {
 	var series []plot.Series
 	for _, br := range bitRates {
 		var pts []plot.Point
@@ -82,7 +82,7 @@ func runFig7a() (Result, error) {
 
 // runFig7b reproduces Figure 7(b): the same quantity as a contour map over
 // (latency ratio, bit-rate), with the paper's 25/50/75% region boundaries.
-func runFig7b() (Result, error) {
+func runFig7b(uint64) (Result, error) {
 	ratios := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
 	// Bit-rates 10KB/s..10MB/s on a log grid, high rates at the top as in
 	// the paper's Y axis.

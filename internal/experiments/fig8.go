@@ -15,7 +15,7 @@ func init() {
 // cost (DRAM saved minus the MEMS bank's cost) across the stream-count
 // sweep, for each media class, with unlimited DRAM and the minimal
 // feasible bank of at least two G3 devices.
-func runFig8() (Result, error) {
+func runFig8(uint64) (Result, error) {
 	d := paperDisk()
 	m := paperMEMS()
 

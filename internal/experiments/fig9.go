@@ -104,6 +104,6 @@ func runFig9(bitRate units.ByteRate, label string) (Result, error) {
 	return Result{Output: out, Series: series}, nil
 }
 
-func runFig9a() (Result, error) { return runFig9(10*units.KBPS, "10KB/s") }
+func runFig9a(uint64) (Result, error) { return runFig9(10*units.KBPS, "10KB/s") }
 
-func runFig9b() (Result, error) { return runFig9(1*units.MBPS, "1MB/s") }
+func runFig9b(uint64) (Result, error) { return runFig9(1*units.MBPS, "1MB/s") }

@@ -20,7 +20,7 @@ func init() {
 // runGenerations sweeps the CMU device generations through the buffer and
 // cache roles: the framework prices any (rate, latency, capacity, cost)
 // point, so the G1→G3 trajectory shows when MEMS becomes compelling.
-func runGenerations() (Result, error) {
+func runGenerations(uint64) (Result, error) {
 	d := paperDisk()
 	load := model.StreamLoad{N: 2000, BitRate: 100 * units.KBPS}
 	direct, err := model.DiskDirect(load, d)
@@ -85,7 +85,7 @@ func runGenerations() (Result, error) {
 // Table 1: an Atlas 10K III with DRAM at $200/GB. The DRAM bill for a
 // loaded streaming server was brutal — which is exactly why a cheap
 // low-latency layer looked so attractive.
-func runYear2002() (Result, error) {
+func runYear2002(uint64) (Result, error) {
 	p := disk.Atlas10K3()
 	d := model.DeviceSpec{Rate: p.OuterRate, Latency: p.AvgAccess()}
 	costs2002 := model.CostModel{DRAMPerGB: 200, MEMSPerGB: 10, MEMSSize: 3.46 * units.GB}

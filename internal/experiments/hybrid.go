@@ -20,13 +20,14 @@ func init() {
 // (striped) and 4−j buffering the misses, under skewed and near-uniform
 // popularity. Pure configurations use the Cached/Buffered architectures;
 // interior splits use the hybrid pipeline.
-func runHybridExperiment() (Result, error) {
+func runHybridExperiment(seed uint64) (Result, error) {
 	const (
 		k       = 4
 		n       = 300
 		bitRate = 100 * units.KBPS
 		titles  = 400
 	)
+	var met Metrics
 	t := &plot.Table{
 		Title: fmt.Sprintf("Hybrid splits of a %d-device bank, %d streams, %v", k, n, bitRate),
 		Headers: []string{"popularity", "cache/buffer split", "from cache",
@@ -38,7 +39,7 @@ func runHybridExperiment() (Result, error) {
 				Disk: disk.FutureDisk(), MEMS: mems.G3(),
 				K: k, CacheDevices: j,
 				N: n, BitRate: bitRate, Titles: titles,
-				X: dist.x, Y: dist.y, Seed: 9,
+				X: dist.x, Y: dist.y, Seed: seed,
 			}
 			switch j {
 			case 0:
@@ -53,6 +54,7 @@ func runHybridExperiment() (Result, error) {
 			if err != nil {
 				return Result{}, err
 			}
+			met.addRun(res)
 			t.AddRow(
 				fmt.Sprintf("%g:%g", dist.x, dist.y),
 				fmt.Sprintf("%d cache / %d buffer", j, k-j),
@@ -68,5 +70,5 @@ func runHybridExperiment() (Result, error) {
 		"streams onto the cache side as the cache share grows, while uniform\n" +
 		"popularity leaves the cache half-used — the trade-off §7 proposes to\n" +
 		"exploit by re-splitting the bank as the popularity profile drifts.\n"
-	return Result{Output: out}, nil
+	return Result{Output: out, Metrics: met}, nil
 }

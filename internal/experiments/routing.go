@@ -24,7 +24,7 @@ func init() {
 // undesirable." We stage a batch of disk-sized IOs on a k=2 bank under
 // both routings, using the real device simulators, and report the
 // achieved staging throughput.
-func runAblationRouting() (Result, error) {
+func runAblationRouting(seed uint64) (Result, error) {
 	const k = 2
 	const batch = 64
 	sizes := []units.Bytes{64 * units.KB, 256 * units.KB, 1 * units.MB, 4 * units.MB, 20 * units.MB}
@@ -34,11 +34,11 @@ func runAblationRouting() (Result, error) {
 		Headers: []string{"disk IO size", "whole-IO round-robin", "striped 1/k pieces", "advantage"},
 	}
 	for _, size := range sizes {
-		whole, err := stageWhole(k, batch, size)
+		whole, err := stageWhole(k, batch, size, seed)
 		if err != nil {
 			return Result{}, err
 		}
-		striped, err := stageStriped(k, batch, size)
+		striped, err := stageStriped(k, batch, size, seed)
 		if err != nil {
 			return Result{}, err
 		}
@@ -59,7 +59,7 @@ func runAblationRouting() (Result, error) {
 
 // stageWhole round-robins whole IOs across k parallel devices and returns
 // the achieved aggregate throughput.
-func stageWhole(k, batch int, size units.Bytes) (units.ByteRate, error) {
+func stageWhole(k, batch int, size units.Bytes, seed uint64) (units.ByteRate, error) {
 	devs, err := bank.New(k, mems.G3())
 	if err != nil {
 		return 0, err
@@ -68,7 +68,7 @@ func stageWhole(k, batch int, size units.Bytes) (units.ByteRate, error) {
 	if blocks < 1 {
 		blocks = 1
 	}
-	rng := sim.NewRNG(31)
+	rng := sim.NewRNG(seed)
 	finish := make([]time.Duration, k)
 	for i := 0; i < batch; i++ {
 		dev := i % k
@@ -93,7 +93,7 @@ func stageWhole(k, batch int, size units.Bytes) (units.ByteRate, error) {
 
 // stageStriped splits every IO into k lock-step pieces and returns the
 // achieved aggregate throughput.
-func stageStriped(k, batch int, size units.Bytes) (units.ByteRate, error) {
+func stageStriped(k, batch int, size units.Bytes, seed uint64) (units.ByteRate, error) {
 	devs, err := bank.New(k, mems.G3())
 	if err != nil {
 		return 0, err
@@ -102,7 +102,7 @@ func stageStriped(k, batch int, size units.Bytes) (units.ByteRate, error) {
 	if piece < 1 {
 		piece = 1
 	}
-	rng := sim.NewRNG(31)
+	rng := sim.NewRNG(seed)
 	var now time.Duration
 	for i := 0; i < batch; i++ {
 		// All devices perform the same relative access; the IO completes

@@ -36,14 +36,14 @@ func timeline(label string, span time.Duration, busy [][2]time.Duration, mark by
 // streams buffered by a single MEMS device. The schedule is derived from
 // Theorem 2's cycle structure (M disk transfers and N DRAM transfers per
 // MEMS IO cycle).
-func runFig4() (Result, error) {
+func runFig4(uint64) (Result, error) {
 	return renderSchedule(10, 1)
 }
 
 // runFig5 reconstructs Figure 5: the same schedule for a bank of k=3
 // devices serving N=45 streams — each disk IO routes wholly to one device
 // while 15 DRAM transfers occur per device per cycle.
-func runFig5() (Result, error) {
+func runFig5(uint64) (Result, error) {
 	return renderSchedule(45, 3)
 }
 

@@ -19,7 +19,7 @@ func init() {
 // DRAM/MEMS price ratio and the MEMS bandwidth (relative to the disk's)
 // at the off-the-shelf DivX operating point and report the cost
 // reduction; the boundary of the positive region is the claim.
-func runSensitivity() (Result, error) {
+func runSensitivity(uint64) (Result, error) {
 	d := paperDisk()
 	bitRate := 100 * units.KBPS
 	n := model.MaxStreamsDirect(bitRate, d, shelfDRAMCap)

@@ -19,7 +19,7 @@ func init() {
 // for 2002 and predicted 2007. The 2002 MEMS column is n/a — no device
 // existed. Values are the paper's cited predictions ([16] for MEMS, [20]
 // for disk, [12] for DRAM).
-func runTable1() (Result, error) {
+func runTable1(uint64) (Result, error) {
 	t := &plot.Table{
 		Title:   "Storage media characteristics",
 		Headers: []string{"Year", "Metric", "DRAM", "MEMS", "Disk"},
@@ -51,7 +51,7 @@ func runTable1() (Result, error) {
 }
 
 // runTable2 reproduces the paper's Table 2: the model's parameter glossary.
-func runTable2() (Result, error) {
+func runTable2(uint64) (Result, error) {
 	t := &plot.Table{
 		Title:   "Analytical model parameters",
 		Headers: []string{"Parameter", "Description"},
@@ -83,7 +83,7 @@ func runTable2() (Result, error) {
 // runTable3 reproduces the paper's Table 3: the 2007 devices the
 // evaluation uses, read back from our device models so the table is
 // guaranteed to match what the experiments run.
-func runTable3() (Result, error) {
+func runTable3(uint64) (Result, error) {
 	d := disk.FutureDisk()
 	m := mems.G3()
 	t := &plot.Table{

@@ -20,12 +20,13 @@ func init() {
 // architectures and checks the analytical model's promises against
 // measured behaviour: zero underflows with model-sized buffers, and DRAM
 // occupancy within the double-buffering envelope of the model's minimum.
-func runValidate() (Result, error) {
+func runValidate(seed uint64) (Result, error) {
 	t := &plot.Table{
 		Title: "Analytical model vs discrete-event simulation",
 		Headers: []string{"Architecture", "Streams", "Bit-rate", "Underflows",
 			"Planned DRAM", "Measured peak", "Disk util", "MEMS util", "margin p5"},
 	}
+	var met Metrics
 	runs := []struct {
 		mode   server.Mode
 		label  string
@@ -51,12 +52,13 @@ func runValidate() (Result, error) {
 			BitRate:     rc.br,
 			Titles:      200,
 			X:           10, Y: 90,
-			Seed: 7,
+			Seed: seed,
 		}
 		res, err := server.Run(cfg)
 		if err != nil {
 			return Result{}, fmt.Errorf("%s N=%d: %w", rc.label, rc.n, err)
 		}
+		met.addRun(res)
 		t.AddRow(
 			rc.label,
 			fmt.Sprintf("%d", rc.n),
@@ -74,5 +76,5 @@ func runValidate() (Result, error) {
 		"schedules on the full device simulators. Peak DRAM exceeds the plan by\n" +
 		"the double-buffering/pipelining factor the paper's careful-management\n" +
 		"citation ([2], Chang & Garcia-Molina) is invoked to remove.\n"
-	return Result{Output: out}, nil
+	return Result{Output: out, Metrics: met}, nil
 }

@@ -21,7 +21,7 @@ func init() {
 // the top-ranked titles' probability mass), feeding the same Theorems 3–4
 // sizing. The cache conclusion should be robust to the popularity model —
 // skew is what matters, not its parametric form.
-func runFig9Zipf() (Result, error) {
+func runFig9Zipf(uint64) (Result, error) {
 	const (
 		budget  = units.Dollars(100)
 		k       = 2

@@ -137,6 +137,19 @@ type CacheConfig struct {
 
 // Validate checks the configuration.
 func (c CacheConfig) Validate() error {
+	if err := c.validatePopularityFree(); err != nil {
+		return err
+	}
+	if _, err := HitRatio(c.X, c.Y, 0); err != nil {
+		return err
+	}
+	return nil
+}
+
+// validatePopularityFree checks everything except the X:Y popularity
+// fields — the subset that matters when the hit ratio is supplied
+// externally and X/Y play no role.
+func (c CacheConfig) validatePopularityFree() error {
 	if err := c.Load.Validate(); err != nil {
 		return err
 	}
@@ -152,9 +165,6 @@ func (c CacheConfig) Validate() error {
 	if c.SizePerDevice <= 0 || c.ContentSize <= 0 {
 		return fmt.Errorf("model: non-positive capacity (mems %v, content %v)",
 			c.SizePerDevice, c.ContentSize)
-	}
-	if _, err := HitRatio(c.X, c.Y, 0); err != nil {
-		return err
 	}
 	return nil
 }
@@ -200,12 +210,10 @@ func CachePlan(cfg CacheConfig) (CachedPlan, error) {
 // CachePlanWithHit is CachePlan with an externally supplied hit ratio —
 // for popularity models other than X:Y (e.g. an empirical Zipf catalog),
 // where h comes from the catalog's weights rather than Eq 11. The X/Y
-// fields of cfg are ignored apart from validation defaults.
+// fields of cfg are ignored entirely on this path, so any values —
+// including zero or partially-zero pairs — are accepted.
 func CachePlanWithHit(cfg CacheConfig, h float64) (CachedPlan, error) {
-	if cfg.X == 0 && cfg.Y == 0 {
-		cfg.X, cfg.Y = 50, 50 // placeholders; the supplied h governs
-	}
-	if err := cfg.Validate(); err != nil {
+	if err := cfg.validatePopularityFree(); err != nil {
 		return CachedPlan{}, err
 	}
 	if h < 0 || h > 1 {

@@ -5,8 +5,10 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"memstream/internal/units"
+	"memstream/internal/workload"
 )
 
 func TestHitRatioEquation11(t *testing.T) {
@@ -447,7 +449,7 @@ func TestCachePlanWithHitValidation(t *testing.T) {
 		K: 1, Policy: Striped,
 		SizePerDevice: 10 * units.GB, ContentSize: 1000 * units.GB,
 	}
-	// X/Y zero: placeholders kick in, supplied h governs.
+	// X/Y zero: they are ignored, the supplied h governs.
 	plan, err := CachePlanWithHit(cfg, 0.5)
 	if err != nil {
 		t.Fatal(err)
@@ -458,6 +460,50 @@ func TestCachePlanWithHitValidation(t *testing.T) {
 	for _, h := range []float64{-0.1, 1.1} {
 		if _, err := CachePlanWithHit(cfg, h); err == nil {
 			t.Errorf("h=%v accepted", h)
+		}
+	}
+}
+
+// Regression: X/Y must be ignored entirely on the WithHit path. The old
+// code only substituted placeholders for the exact pair X==0 && Y==0, so
+// a single-zero pair (out of range for Eq 11, but irrelevant here) drew a
+// spurious "X:Y out of range" error.
+func TestCachePlanWithHitIgnoresPartialXY(t *testing.T) {
+	// An empirical-Zipf hit ratio, as a caller bypassing Eq 11 would
+	// supply: the probability mass of the cached prefix of a Zipf(1.0)
+	// catalog.
+	w := workload.Zipf(1000, 1.0)
+	cat, err := workload.NewCatalog(1000, workload.MediaClass{
+		Name: "zipf", BitRate: 10 * units.KBPS, Duration: time.Hour,
+	}, w, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := cat.TopFraction(0.02)
+	if h <= 0 || h >= 1 {
+		t.Fatalf("empirical hit ratio %v outside (0,1)", h)
+	}
+
+	base := CacheConfig{
+		Load: StreamLoad{N: 100, BitRate: 10 * units.KBPS},
+		Disk: futureDiskSpec(), MEMS: g3Spec(),
+		K: 2, Policy: Striped,
+		SizePerDevice: 10 * units.GB, ContentSize: 1000 * units.GB,
+	}
+	var want CachedPlan
+	for i, xy := range []struct{ x, y float64 }{{0, 0}, {0, 40}, {40, 0}, {10, 90}} {
+		cfg := base
+		cfg.X, cfg.Y = xy.x, xy.y
+		plan, err := CachePlanWithHit(cfg, h)
+		if err != nil {
+			t.Fatalf("X=%g Y=%g: %v", xy.x, xy.y, err)
+		}
+		if i == 0 {
+			want = plan
+			continue
+		}
+		if plan != want {
+			t.Errorf("X=%g Y=%g: plan differs from zeroed-X/Y plan", xy.x, xy.y)
 		}
 	}
 }

@@ -352,6 +352,7 @@ func runBuffered(cfg Config) (Result, error) {
 
 	res := Result{
 		Mode:            Buffered,
+		Events:          eng.Executed(),
 		WriterPeakDRAM:  writerPeak,
 		BestEffortBytes: bestEffortBytes,
 		Streams:         cfg.N,
@@ -375,6 +376,8 @@ func runBuffered(cfg Config) (Result, error) {
 		res.Underflows += p.underflow
 		res.UnderflowBytes += p.deficit
 	}
-	res.MarginP5 = units.Seconds(margins.Quantile(0.05))
+	if m, ok := margins.Quantile(0.05); ok {
+		res.MarginP5 = units.Seconds(m)
+	}
 	return res, nil
 }

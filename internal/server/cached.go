@@ -224,6 +224,7 @@ func runCached(cfg Config) (Result, error) {
 		Mode:          Cached,
 		Streams:       cfg.N,
 		SimulatedTime: end,
+		Events:        eng.Executed(),
 		PlannedDRAM:   cachePlan.TotalDRAM + diskPlan.TotalDRAM,
 		DRAMHighWater: pool.HighWater(),
 		DiskBusy:      dsk.BusyTime(),
@@ -243,7 +244,9 @@ func runCached(cfg Config) (Result, error) {
 		res.Underflows += p.underflow
 		res.UnderflowBytes += p.deficit
 	}
-	res.MarginP5 = units.Seconds(margins.Quantile(0.05))
+	if m, ok := margins.Quantile(0.05); ok {
+		res.MarginP5 = units.Seconds(m)
+	}
 	return res, nil
 }
 

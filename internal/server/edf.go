@@ -146,6 +146,7 @@ func runEDF(cfg Config) (Result, error) {
 		Mode:          Direct,
 		Streams:       cfg.N,
 		SimulatedTime: end,
+		Events:        eng.Executed(),
 		PlannedDRAM:   plan.TotalDRAM,
 		DRAMHighWater: pool.HighWater(),
 		DiskBusy:      dsk.BusyTime(),
@@ -157,6 +158,8 @@ func runEDF(cfg Config) (Result, error) {
 		res.Underflows += p.underflow
 		res.UnderflowBytes += p.deficit
 	}
-	res.MarginP5 = units.Seconds(margins.Quantile(0.05))
+	if m, ok := margins.Quantile(0.05); ok {
+		res.MarginP5 = units.Seconds(m)
+	}
 	return res, nil
 }

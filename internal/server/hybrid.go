@@ -286,6 +286,7 @@ func runHybrid(cfg Config) (Result, error) {
 		Mode:          Hybrid,
 		Streams:       cfg.N,
 		SimulatedTime: end,
+		Events:        eng.Executed(),
 		Cycles:        diskCycles,
 		PlannedDRAM:   cachePlan.TotalDRAM + bufPlan.TotalDRAM,
 		DRAMHighWater: pool.HighWater(),
@@ -310,6 +311,8 @@ func runHybrid(cfg Config) (Result, error) {
 		res.Underflows += p.underflow
 		res.UnderflowBytes += p.deficit
 	}
-	res.MarginP5 = units.Seconds(margins.Quantile(0.05))
+	if m, ok := margins.Quantile(0.05); ok {
+		res.MarginP5 = units.Seconds(m)
+	}
 	return res, nil
 }

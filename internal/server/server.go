@@ -113,6 +113,10 @@ type Result struct {
 
 	SimulatedTime time.Duration
 	Cycles        int64
+	// Events is how many simulation-kernel events fired during the run
+	// (Engine.Executed) — the per-run cost metric the experiment harness
+	// exports.
+	Events uint64
 
 	// Real-time delivery.
 	Underflows     int
@@ -563,6 +567,7 @@ func runDirect(cfg Config) (Result, error) {
 		Mode:          Direct,
 		Streams:       cfg.N,
 		SimulatedTime: end,
+		Events:        eng.Executed(),
 		Cycles:        cycles,
 		PlannedDRAM:   plan.TotalDRAM,
 		DRAMHighWater: pool.HighWater(),
@@ -575,6 +580,8 @@ func runDirect(cfg Config) (Result, error) {
 		res.Underflows += p.underflow
 		res.UnderflowBytes += p.deficit
 	}
-	res.MarginP5 = units.Seconds(margins.Quantile(0.05))
+	if m, ok := margins.Quantile(0.05); ok {
+		res.MarginP5 = units.Seconds(m)
+	}
 	return res, nil
 }

@@ -10,6 +10,7 @@ type Reservoir struct {
 	seen    uint64
 	rng     *RNG
 	samples []float64
+	dirty   bool // samples unsorted since the last Quantile flush
 }
 
 // NewReservoir creates a reservoir holding up to capacity samples.
@@ -25,23 +26,40 @@ func (r *Reservoir) Observe(v float64) {
 	r.seen++
 	if len(r.samples) < r.cap {
 		r.samples = append(r.samples, v)
+		r.dirty = true
 		return
 	}
-	// Replace a random element with probability cap/seen.
-	j := r.rng.Uint64() % r.seen
+	// Replace a random element with probability cap/seen. Uint64n keeps
+	// the slot choice unbiased; which slot is evicted does not affect the
+	// retained sample's distribution, so flushing may reorder samples
+	// between observations without harm.
+	j := r.rng.Uint64n(r.seen)
 	if j < uint64(r.cap) {
 		r.samples[j] = v
+		r.dirty = true
 	}
 }
 
 // N reports how many samples were observed (not retained).
 func (r *Reservoir) N() uint64 { return r.seen }
 
-// Quantile returns the q-quantile (q in [0,1]) of the retained sample,
-// with linear interpolation. It returns 0 with no samples.
-func (r *Reservoir) Quantile(q float64) float64 {
+// flush sorts the retained sample once after any run of observations, so
+// a burst of Quantile queries (the metrics export asks for several) costs
+// one sort instead of one copy-and-sort per call.
+func (r *Reservoir) flush() {
+	if r.dirty {
+		sort.Float64s(r.samples)
+		r.dirty = false
+	}
+}
+
+// Quantile returns the q-quantile (q clamped to [0,1]) of the retained
+// sample, with linear interpolation between order statistics. The second
+// result is false when no samples have been observed, distinguishing an
+// empty reservoir from a genuine 0-valued quantile.
+func (r *Reservoir) Quantile(q float64) (float64, bool) {
 	if len(r.samples) == 0 {
-		return 0
+		return 0, false
 	}
 	if q < 0 {
 		q = 0
@@ -49,20 +67,18 @@ func (r *Reservoir) Quantile(q float64) float64 {
 	if q > 1 {
 		q = 1
 	}
-	sorted := make([]float64, len(r.samples))
-	copy(sorted, r.samples)
-	sort.Float64s(sorted)
-	if len(sorted) == 1 {
-		return sorted[0]
+	r.flush()
+	if len(r.samples) == 1 {
+		return r.samples[0], true
 	}
-	pos := q * float64(len(sorted)-1)
+	pos := q * float64(len(r.samples)-1)
 	i := int(pos)
 	frac := pos - float64(i)
-	if i+1 >= len(sorted) {
-		return sorted[len(sorted)-1]
+	if i+1 >= len(r.samples) {
+		return r.samples[len(r.samples)-1], true
 	}
-	return sorted[i] + frac*(sorted[i+1]-sorted[i])
+	return r.samples[i] + frac*(r.samples[i+1]-r.samples[i]), true
 }
 
 // Median is Quantile(0.5).
-func (r *Reservoir) Median() float64 { return r.Quantile(0.5) }
+func (r *Reservoir) Median() (float64, bool) { return r.Quantile(0.5) }

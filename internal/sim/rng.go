@@ -1,6 +1,9 @@
 package sim
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // RNG is a deterministic SplitMix64 pseudo-random generator. It is tiny,
 // allocation-free, and — unlike math/rand's global source — completely
@@ -27,12 +30,33 @@ func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / float64(1<<53)
 }
 
+// Uint64n returns a uniform value in [0, n) using Lemire's multiply-shift
+// bounded sampling with rejection, so every value is exactly equally
+// likely (a plain Uint64()%n is biased toward small values whenever n is
+// not a power of two). It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("sim: Uint64n with zero n")
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		// Reject the sliver of the 64-bit range that maps unevenly:
+		// thresh = 2^64 mod n; draws whose low product word falls below
+		// it are redrawn. At most one retry is expected for any n.
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
 // Intn returns a uniform value in [0, n). It panics if n <= 0.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("sim: Intn with non-positive n")
 	}
-	return int(r.Uint64() % uint64(n))
+	return int(r.Uint64n(uint64(n)))
 }
 
 // Exp returns an exponentially distributed value with the given mean.

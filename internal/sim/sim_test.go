@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"reflect"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -151,6 +152,70 @@ func TestEventChaining(t *testing.T) {
 
 // Property: however events are scheduled, Run fires them in nondecreasing
 // time order and the clock never goes backwards.
+// TestFIFOSurvivesCancellationMidRunUntil is a property test: with many
+// events sharing few distinct timestamps, and firing events cancelling
+// random victims (including already-fired ones and themselves), the
+// survivors must still fire in FIFO (scheduling) order within each
+// timestamp — heap removals must not perturb the (time, seq) order. The
+// run is split across RunUntil calls so cancellations land mid-run.
+func TestFIFOSurvivesCancellationMidRunUntil(t *testing.T) {
+	rng := NewRNG(77)
+	for trial := 0; trial < 100; trial++ {
+		const n = 40
+		eng := &Engine{}
+		events := make([]*Event, n)
+		times := make([]Time, n)
+		cancels := make([][]int, n)
+		for i := 0; i < n; i++ {
+			times[i] = Time(rng.Intn(3)) * 10 // t ∈ {0, 10, 20}: heavy collisions
+			for j := 0; j < 2; j++ {
+				cancels[i] = append(cancels[i], rng.Intn(n))
+			}
+		}
+		var fired []int
+		for i := 0; i < n; i++ {
+			i := i
+			ev, err := eng.ScheduleAt(times[i], func() {
+				fired = append(fired, i)
+				for _, victim := range cancels[i] {
+					events[victim].Cancel()
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			events[i] = ev
+		}
+		eng.RunUntil(10) // fires the t=0 and t=10 groups
+		eng.RunUntil(MaxTime)
+
+		// Reference model: process indices in (time, scheduling order),
+		// skipping dead ones; firing i kills its victims.
+		var order []int
+		for _, at := range []Time{0, 10, 20} {
+			for i := 0; i < n; i++ {
+				if times[i] == at {
+					order = append(order, i)
+				}
+			}
+		}
+		dead := make([]bool, n)
+		var want []int
+		for _, i := range order {
+			if dead[i] {
+				continue
+			}
+			want = append(want, i)
+			for _, victim := range cancels[i] {
+				dead[victim] = true
+			}
+		}
+		if !reflect.DeepEqual(fired, want) {
+			t.Fatalf("trial %d: fired %v, want %v", trial, fired, want)
+		}
+	}
+}
+
 func TestMonotonicClockProperty(t *testing.T) {
 	f := func(delays []uint16) bool {
 		var eng Engine
@@ -292,6 +357,66 @@ func TestRNGIntnRange(t *testing.T) {
 	}
 }
 
+// TestRNGIntnUniform is a chi-squared goodness-of-fit check on Intn over
+// a bucket count that is not a power of two — the case where the old
+// Uint64()%n implementation was modulo-biased.
+func TestRNGIntnUniform(t *testing.T) {
+	for _, n := range []int{3, 6, 10, 1000} {
+		r := NewRNG(12345)
+		const draws = 600000
+		counts := make([]int, n)
+		for i := 0; i < draws; i++ {
+			counts[r.Intn(n)]++
+		}
+		expected := float64(draws) / float64(n)
+		chi2 := 0.0
+		for _, c := range counts {
+			d := float64(c) - expected
+			chi2 += d * d / expected
+		}
+		// For k-1 degrees of freedom, chi2 concentrates around k-1 with
+		// stddev sqrt(2(k-1)); 5 sigma keeps the deterministic test far
+		// from both flakiness and real bias.
+		dof := float64(n - 1)
+		limit := dof + 5*math.Sqrt(2*dof)
+		if chi2 > limit {
+			t.Errorf("Intn(%d): chi2 = %.1f > %.1f — distribution biased", n, chi2, limit)
+		}
+	}
+}
+
+// TestRNGUint64nUnbiasedNearMax drives Uint64n with a bound just above
+// 2^63, where nearly half of all 64-bit draws must be rejected; the old
+// modulo reduction made values below 2^63 twice as likely.
+func TestRNGUint64nUnbiasedNearMax(t *testing.T) {
+	r := NewRNG(99)
+	n := uint64(1)<<63 + 1
+	const draws = 20000
+	low := 0
+	for i := 0; i < draws; i++ {
+		v := r.Uint64n(n)
+		if v >= n {
+			t.Fatalf("Uint64n out of range: %d", v)
+		}
+		if v < n/2 {
+			low++
+		}
+	}
+	// Under modulo bias, low ≈ 2/3 of draws; unbiased is 1/2.
+	if frac := float64(low) / draws; frac < 0.45 || frac > 0.55 {
+		t.Errorf("low-half fraction = %.3f, want ~0.5", frac)
+	}
+}
+
+func TestRNGUint64nPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	NewRNG(1).Uint64n(0)
+}
+
 func TestRNGIntnPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
@@ -354,29 +479,58 @@ func TestReservoirSmallStreamExact(t *testing.T) {
 	if r.N() != 5 {
 		t.Errorf("N = %d", r.N())
 	}
-	if got := r.Quantile(0); got != 1 {
-		t.Errorf("min = %v", got)
+	if got, ok := r.Quantile(0); !ok || got != 1 {
+		t.Errorf("min = %v, %v", got, ok)
 	}
-	if got := r.Quantile(1); got != 5 {
-		t.Errorf("max = %v", got)
+	if got, ok := r.Quantile(1); !ok || got != 5 {
+		t.Errorf("max = %v, %v", got, ok)
 	}
-	if got := r.Median(); got != 3 {
-		t.Errorf("median = %v", got)
+	if got, ok := r.Median(); !ok || got != 3 {
+		t.Errorf("median = %v, %v", got, ok)
 	}
 	// Interpolation between order statistics.
-	if got := r.Quantile(0.25); got != 2 {
+	if got, _ := r.Quantile(0.25); got != 2 {
 		t.Errorf("q25 = %v", got)
 	}
 }
 
 func TestReservoirEmptyAndClamping(t *testing.T) {
 	r := NewReservoir(10, 1)
-	if r.Quantile(0.5) != 0 {
-		t.Error("empty reservoir should report 0")
+	if _, ok := r.Quantile(0.5); ok {
+		t.Error("empty reservoir should report ok=false")
+	}
+	if _, ok := r.Median(); ok {
+		t.Error("empty median should report ok=false")
 	}
 	r.Observe(7)
-	if r.Quantile(-1) != 7 || r.Quantile(2) != 7 {
+	lo, okLo := r.Quantile(-1)
+	hi, okHi := r.Quantile(2)
+	if !okLo || !okHi || lo != 7 || hi != 7 {
 		t.Error("q clamping failed")
+	}
+}
+
+func TestReservoirObserveAfterQuantile(t *testing.T) {
+	// Interleaving queries (which sort the retained sample in place) with
+	// further observations must keep estimates consistent.
+	r := NewReservoir(8, 1)
+	for _, v := range []float64{9, 2, 7} {
+		r.Observe(v)
+	}
+	if got, _ := r.Quantile(1); got != 9 {
+		t.Errorf("max = %v before refill", got)
+	}
+	for _, v := range []float64{11, 1} {
+		r.Observe(v)
+	}
+	if got, _ := r.Quantile(0); got != 1 {
+		t.Errorf("min = %v after refill", got)
+	}
+	if got, _ := r.Quantile(1); got != 11 {
+		t.Errorf("max = %v after refill", got)
+	}
+	if r.N() != 5 {
+		t.Errorf("N = %d", r.N())
 	}
 }
 
@@ -388,9 +542,9 @@ func TestReservoirLargeStreamApproximation(t *testing.T) {
 		r.Observe(src.Float64())
 	}
 	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
-		got := r.Quantile(q)
-		if math.Abs(got-q) > 0.05 {
-			t.Errorf("Quantile(%v) = %v", q, got)
+		got, ok := r.Quantile(q)
+		if !ok || math.Abs(got-q) > 0.05 {
+			t.Errorf("Quantile(%v) = %v, %v", q, got, ok)
 		}
 	}
 }
@@ -402,7 +556,8 @@ func TestReservoirDeterministic(t *testing.T) {
 		for i := 0; i < 10000; i++ {
 			r.Observe(src.Float64())
 		}
-		return r.Quantile(0.95)
+		q, _ := r.Quantile(0.95)
+		return q
 	}
 	if mk() != mk() {
 		t.Error("reservoir not deterministic")
