@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench repro suite fuzz cover clean
+.PHONY: all build test vet race bench repro suite smoke fuzz cover clean
 
 all: build vet test
 
@@ -32,6 +32,11 @@ repro:
 # per-run metrics document next to the artifacts.
 suite:
 	$(GO) run ./cmd/memsim -experiments -parallel 0 -out results -json results/metrics.json
+
+# smoke runs the memserve↔memsload end-to-end check: load with stalled
+# clients, zero leaked admission slots, graceful SIGTERM drain (exit 0).
+smoke:
+	sh scripts/smoke.sh
 
 # fuzz gives each fuzz target a short budget; extend for deeper runs.
 fuzz:

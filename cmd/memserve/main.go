@@ -1,161 +1,114 @@
-// Command memserve is a demonstration streaming server that uses the
-// analytical planner for admission control. Clients connect over TCP and
-// send one line:
+// Command memserve is the network-facing streaming server: it fronts the
+// analytical planner's admission control (Theorem 1 with the FutureDisk
+// profile and the configured DRAM budget) with the internal/serve
+// connection supervisor. Clients connect over TCP and send one line:
 //
 //	PLAY <bitrate>      e.g. "PLAY 100KB" — request a stream at that rate
-//	STAT                — report admitted streams and capacity
+//	STAT                — admitted streams, capacity yardstick, aggregate rate
+//	METRICS             — supervisor counters + pacing-lag histogram
 //
 // Admitted clients receive synthetic stream data paced at the requested
-// rate until they disconnect (or -limit bytes have been sent). Admission
-// uses the paper's Theorem 1 with the FutureDisk profile and the
-// configured DRAM budget, so the server says "busy" exactly when the
-// model says one more stream would violate the real-time requirement.
+// rate until -limit bytes have been sent or they disconnect. The server
+// says "BUSY" exactly when the model says one more stream would violate
+// the real-time requirement — and the supervisor guarantees that slot
+// accounting survives hostile clients: silent connections are reaped by
+// the read deadline, clients that stop reading are evicted by the write
+// deadline, connections beyond -max-conns are shed before they cost a
+// goroutine, and SIGINT/SIGTERM drain gracefully, releasing every slot.
+//
+// The admission spec plans against the disk's block-weighted effective
+// zone rate (disk.Device.EffectiveRate), matching the simulator's
+// diskSpec: planning against the outer-zone maximum would overcommit
+// whole-surface layouts. STAT's capacity= yardstick therefore reads
+// lower — and honestly — compared with the old OuterRate figure.
 //
 // Usage:
 //
-//	memserve -addr :9090 -dram 1GB -bitrate 100KB
+//	memserve -addr :9090 -dram 1GB -bitrate 100KB \
+//	         -read-timeout 5s -write-timeout 5s -drain 10s -max-conns 1024
 package main
 
 import (
-	"bufio"
+	"context"
 	"flag"
-	"fmt"
 	"log"
 	"net"
-	"strings"
-	"sync"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"memstream/internal/disk"
 	"memstream/internal/model"
 	"memstream/internal/schedule"
+	"memstream/internal/serve"
 	"memstream/internal/units"
 )
-
-type server struct {
-	mu    sync.Mutex
-	adm   *schedule.MixedAdmission
-	rate  units.ByteRate // default per-stream rate and capacity yardstick
-	limit units.Bytes
-}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:9090", "listen address")
 	dram := flag.String("dram", "1GB", "DRAM budget for admission control")
 	rate := flag.String("bitrate", "100KB", "per-stream bit-rate the server is provisioned for")
 	limit := flag.String("limit", "1MB", "bytes to stream per client (0 = unlimited)")
+	readTO := flag.Duration("read-timeout", serve.DefaultReadTimeout, "request-line deadline (slowloris reaping)")
+	writeTO := flag.Duration("write-timeout", serve.DefaultWriteTimeout, "per-chunk write deadline (stalled-reader eviction)")
+	drain := flag.Duration("drain", serve.DefaultDrainTimeout, "graceful-drain budget on SIGINT/SIGTERM")
+	maxConns := flag.Int("max-conns", serve.DefaultMaxConns, "concurrent connection cap (BUSY shed beyond it)")
+	quantum := flag.Duration("quantum", serve.DefaultQuantum, "pacing quantum")
 	flag.Parse()
 
-	dramCap, err := units.ParseBytes(*dram)
+	srv, err := build(*dram, *rate, *limit, *readTO, *writeTO, *drain, *maxConns, *quantum)
 	if err != nil {
 		log.Fatalf("memserve: %v", err)
-	}
-	bitRate, err := units.ParseRate(*rate)
-	if err != nil {
-		log.Fatalf("memserve: %v", err)
-	}
-	limitBytes, err := units.ParseBytes(*limit)
-	if err != nil {
-		log.Fatalf("memserve: %v", err)
-	}
-
-	p := disk.FutureDisk()
-	s := &server{
-		adm: &schedule.MixedAdmission{
-			Disk:    model.DeviceSpec{Rate: p.OuterRate, Latency: p.AvgAccess()},
-			DRAMCap: dramCap,
-		},
-		rate:  bitRate,
-		limit: limitBytes,
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("memserve: %v", err)
 	}
-	log.Printf("memserve: listening on %s (provisioned for %v streams at %v, %v DRAM)",
-		ln.Addr(), s.capacity(), bitRate, dramCap)
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			log.Printf("memserve: accept: %v", err)
-			continue
-		}
-		go s.handle(conn)
+	log.Printf("memserve: listening on %s (provisioned for %v streams at %s, %s DRAM, max %d conns)",
+		ln.Addr(), srv.Capacity(), *rate, *dram, *maxConns)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Serve(ctx, ln); err != nil {
+		log.Fatalf("memserve: %v", err)
 	}
+	log.Printf("memserve: drained; %s", srv.Metrics().Line(srv.Admitted()))
 }
 
-// capacity is the homogeneous-rate yardstick shown in STAT responses; the
-// actual admission decision handles arbitrary rate mixes.
-func (s *server) capacity() int {
-	return model.MaxStreamsDirect(s.rate, s.adm.Disk, s.adm.DRAMCap)
-}
-
-func (s *server) handle(conn net.Conn) {
-	defer conn.Close()
-	r := bufio.NewReader(conn)
-	line, err := r.ReadString('\n')
+// build wires the admission controller and supervisor. The disk spec uses
+// the instantiated drive's block-weighted EffectiveRate — the same rate
+// the server simulator plans against (server.diskSpec) — so the network
+// front-end and the simulation agree on what one disk can sustain.
+func build(dram, rate, limit string, readTO, writeTO, drain time.Duration, maxConns int, quantum time.Duration) (*serve.Server, error) {
+	dramCap, err := units.ParseBytes(dram)
 	if err != nil {
-		return
+		return nil, err
 	}
-	fields := strings.Fields(strings.TrimSpace(line))
-	if len(fields) == 0 {
-		fmt.Fprintln(conn, "ERR empty request")
-		return
+	bitRate, err := units.ParseRate(rate)
+	if err != nil {
+		return nil, err
 	}
-	switch strings.ToUpper(fields[0]) {
-	case "STAT":
-		s.mu.Lock()
-		admitted := s.adm.Admitted()
-		agg := s.adm.Aggregate()
-		s.mu.Unlock()
-		fmt.Fprintf(conn, "OK admitted=%d capacity=%d aggregate=%v\n", admitted, s.capacity(), agg)
-	case "PLAY":
-		rate := s.rate
-		if len(fields) > 1 {
-			parsed, err := units.ParseRate(fields[1])
-			if err != nil {
-				fmt.Fprintf(conn, "ERR bad rate %q\n", fields[1])
-				return
-			}
-			rate = parsed
-		}
-		s.mu.Lock()
-		ok, err := s.adm.TryAdmit(rate)
-		s.mu.Unlock()
-		if err != nil || !ok {
-			fmt.Fprintln(conn, "BUSY real-time capacity exhausted")
-			return
-		}
-		defer func() {
-			s.mu.Lock()
-			s.adm.Release(rate)
-			s.mu.Unlock()
-		}()
-		fmt.Fprintf(conn, "OK streaming at %v\n", rate)
-		s.stream(conn, rate)
-	default:
-		fmt.Fprintf(conn, "ERR unknown command %q\n", fields[0])
+	limitBytes, err := units.ParseBytes(limit)
+	if err != nil {
+		return nil, err
 	}
-}
-
-// stream paces synthetic data at the requested rate in 100ms quanta.
-func (s *server) stream(conn net.Conn, rate units.ByteRate) {
-	const quantum = 100 * time.Millisecond
-	chunk := make([]byte, int(units.BytesIn(rate, quantum)))
-	for i := range chunk {
-		chunk[i] = byte('A' + i%26)
+	d, err := disk.New(disk.FutureDisk())
+	if err != nil {
+		return nil, err
 	}
-	var sent units.Bytes
-	ticker := time.NewTicker(quantum)
-	defer ticker.Stop()
-	for range ticker.C {
-		if _, err := conn.Write(chunk); err != nil {
-			return
-		}
-		sent += units.Bytes(len(chunk))
-		if s.limit > 0 && sent >= s.limit {
-			return
-		}
-	}
+	return serve.New(serve.Config{
+		Admission: &schedule.MixedAdmission{
+			Disk:    model.DeviceSpec{Rate: d.EffectiveRate(), Latency: d.Params().AvgAccess()},
+			DRAMCap: dramCap,
+		},
+		DefaultRate:  bitRate,
+		Limit:        limitBytes,
+		ReadTimeout:  readTO,
+		WriteTimeout: writeTO,
+		DrainTimeout: drain,
+		MaxConns:     maxConns,
+		Quantum:      quantum,
+		Logf:         log.Printf,
+	})
 }

@@ -2,122 +2,120 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"io"
 	"net"
+	"os"
+	"os/signal"
 	"strings"
-	"sync"
+	"syscall"
 	"testing"
 	"time"
 
 	"memstream/internal/disk"
 	"memstream/internal/model"
-	"memstream/internal/schedule"
 	"memstream/internal/units"
 )
 
-func testServer(dram units.Bytes, bitRate units.ByteRate) *server {
-	p := disk.FutureDisk()
-	return &server{
-		adm: &schedule.MixedAdmission{
-			Disk:    model.DeviceSpec{Rate: p.OuterRate, Latency: p.AvgAccess()},
-			DRAMCap: dram,
-		},
-		rate:  bitRate,
-		limit: 64 * units.KB,
+func TestBuildValidatesFlags(t *testing.T) {
+	if _, err := build("nonsense", "100KB", "1MB", 0, 0, 0, 0, 0); err == nil {
+		t.Error("bad -dram accepted")
+	}
+	if _, err := build("1GB", "fast", "1MB", 0, 0, 0, 0, 0); err == nil {
+		t.Error("bad -bitrate accepted")
+	}
+	if _, err := build("1GB", "100KB", "much", 0, 0, 0, 0, 0); err == nil {
+		t.Error("bad -limit accepted")
+	}
+	if _, err := build("1GB", "100KB", "1MB", 0, 0, 0, 0, 0); err != nil {
+		t.Errorf("defaults rejected: %v", err)
 	}
 }
 
-// exchange runs the handler on one end of a pipe and returns the first
-// response line plus how many stream bytes followed.
-func exchange(t *testing.T, s *server, request string) (string, int) {
-	t.Helper()
-	client, srv := net.Pipe()
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		s.handle(srv)
-	}()
-	if err := client.SetDeadline(time.Now().Add(5 * time.Second)); err != nil {
+// The admission spec must plan against the block-weighted effective zone
+// rate, like the simulator's diskSpec — not the outer-zone maximum, which
+// overcommits whole-surface layouts. The capacity yardstick is therefore
+// strictly lower than an OuterRate plan would claim.
+func TestCapacityUsesEffectiveRate(t *testing.T) {
+	srv, err := build("1GB", "100KB", "1MB", 0, 0, 0, 0, 0)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := client.Write([]byte(request + "\n")); err != nil {
+	p := disk.FutureDisk()
+	d, err := disk.New(p)
+	if err != nil {
 		t.Fatal(err)
 	}
-	r := bufio.NewReader(client)
+	if d.EffectiveRate() >= p.OuterRate {
+		t.Fatalf("EffectiveRate %v not below OuterRate %v; test premise broken",
+			d.EffectiveRate(), p.OuterRate)
+	}
+	effective := model.MaxStreamsDirect(100*units.KBPS,
+		model.DeviceSpec{Rate: d.EffectiveRate(), Latency: p.AvgAccess()}, 1*units.GB)
+	outer := model.MaxStreamsDirect(100*units.KBPS,
+		model.DeviceSpec{Rate: p.OuterRate, Latency: p.AvgAccess()}, 1*units.GB)
+	if got := srv.Capacity(); got != effective {
+		t.Errorf("Capacity = %d, want the EffectiveRate plan %d", got, effective)
+	}
+	if srv.Capacity() >= outer {
+		t.Errorf("Capacity = %d not below the OuterRate plan %d; admission would overcommit inner zones",
+			srv.Capacity(), outer)
+	}
+}
+
+// End-to-end SIGTERM drain: the wiring main uses (signal.NotifyContext →
+// serve.Serve) must stop accepting, evict the in-flight stream at the
+// drain deadline, release its slot, and return nil — exit code 0.
+func TestSigtermDrainReleasesSlots(t *testing.T) {
+	srv, err := build("1GB", "100KB", "0", 100*time.Millisecond, 100*time.Millisecond,
+		300*time.Millisecond, 16, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ctx, ln) }()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("PLAY 100KB\n")); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(conn)
 	line, err := r.ReadString('\n')
 	if err != nil {
-		t.Fatalf("read response: %v", err)
+		t.Fatal(err)
 	}
-	// Drain whatever stream data follows until the server closes.
-	n := 0
-	buf := make([]byte, 4096)
-	for {
-		m, err := r.Read(buf)
-		n += m
-		if err != nil {
-			break
-		}
-	}
-	client.Close()
-	wg.Wait()
-	return strings.TrimSpace(line), n
-}
-
-func TestStatReportsCapacity(t *testing.T) {
-	s := testServer(1*units.GB, 100*units.KBPS)
-	line, _ := exchange(t, s, "STAT")
-	if !strings.HasPrefix(line, "OK admitted=0 capacity=") {
-		t.Fatalf("STAT response = %q", line)
-	}
-}
-
-func TestPlayStreamsData(t *testing.T) {
-	s := testServer(1*units.GB, 100*units.KBPS)
-	line, n := exchange(t, s, "PLAY 100KB")
 	if !strings.HasPrefix(line, "OK streaming") {
 		t.Fatalf("PLAY response = %q", line)
 	}
-	if n < int(s.limit) {
-		t.Errorf("streamed %d bytes, want ≥ %v", n, s.limit)
-	}
-	// Admission released after the stream ends.
-	if s.adm.Admitted() != 0 {
-		t.Errorf("admitted = %d after disconnect", s.adm.Admitted())
-	}
-}
+	go io.Copy(io.Discard, r) // keep reading; with -limit 0 only the drain ends us
 
-func TestPlayRejectsBadRate(t *testing.T) {
-	s := testServer(1*units.GB, 100*units.KBPS)
-	line, _ := exchange(t, s, "PLAY fast")
-	if !strings.HasPrefix(line, "ERR") {
-		t.Fatalf("bad-rate response = %q", line)
+	// Deliver a real SIGTERM to ourselves; NotifyContext turns it into
+	// the drain trigger instead of killing the test binary.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
 	}
-}
-
-func TestUnknownCommand(t *testing.T) {
-	s := testServer(1*units.GB, 100*units.KBPS)
-	line, _ := exchange(t, s, "DELETE everything")
-	if !strings.HasPrefix(line, "ERR") {
-		t.Fatalf("response = %q", line)
-	}
-}
-
-func TestBusyWhenAdmissionExhausted(t *testing.T) {
-	// Tiny DRAM budget: very few admissible streams.
-	s := testServer(1*units.MB, 10*units.MBPS)
-	cap := s.capacity()
-	if cap <= 0 || cap > 10 {
-		t.Fatalf("test wants a small capacity, got %d", cap)
-	}
-	// Saturate admission directly, then try a connection.
-	for i := 0; i < cap; i++ {
-		ok, err := s.adm.TryAdmit(10 * units.MBPS)
-		if err != nil || !ok {
-			t.Fatalf("admit %d failed", i)
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("Serve returned %v after SIGTERM, want nil", err)
 		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not drain after SIGTERM")
 	}
-	line, _ := exchange(t, s, "PLAY")
-	if !strings.HasPrefix(line, "BUSY") {
-		t.Fatalf("over-capacity response = %q", line)
+	if got := srv.Admitted(); got != 0 {
+		t.Errorf("Admitted = %d after SIGTERM drain, want 0", got)
+	}
+	if got := srv.Metrics().Evicted.Load(); got != 1 {
+		t.Errorf("Evicted = %d, want 1 (the unlimited stream force-closed at the deadline)", got)
 	}
 }

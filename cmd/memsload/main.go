@@ -1,0 +1,320 @@
+// Command memsload is the load generator for memserve: it drives N
+// concurrent PLAY clients — optionally including deliberately slow and
+// fully stalled readers — and reports achieved throughput, admission
+// outcomes, stall evictions observed, and admission-latency quantiles.
+// It is the other half of the e2e smoke test: memserve must evict the
+// stalled readers and return their slots, and memsload verifies the
+// server drained back to admitted=0 afterwards.
+//
+// Usage:
+//
+//	memsload -addr 127.0.0.1:9090 -clients 16 -slow 2 -stall 2 \
+//	         -rate 100KB -duration 5s
+//	memsload -addr 127.0.0.1:9090 -stat              # one STAT round-trip
+//	memsload -addr 127.0.0.1:9090 -metrics           # one METRICS round-trip
+//	memsload -addr 127.0.0.1:9090 -drained 5s        # poll until admitted=0
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"memstream/internal/sim"
+	"memstream/internal/units"
+)
+
+type config struct {
+	addr     string
+	clients  int
+	slow     int // of clients, how many read deliberately slowly
+	stall    int // of clients, how many stop reading after the response line
+	rate     string
+	duration time.Duration
+}
+
+type clientKind int
+
+const (
+	kindNormal clientKind = iota
+	kindSlow
+	kindStalled
+)
+
+type clientResult struct {
+	admitted  bool
+	busy      bool
+	errored   bool
+	completed bool // server delivered its full -limit and closed cleanly
+	evicted   bool // stalled client observed the server closing on it
+	bytes     int64
+	latency   time.Duration // connect → first response line
+}
+
+type report struct {
+	Clients   int
+	Admitted  int
+	Busy      int
+	Errors    int
+	Completed int
+	Evicted   int
+	Bytes     int64
+	Wall      time.Duration
+	Latency   *sim.Reservoir // admission latency, seconds
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9090", "memserve address")
+	clients := flag.Int("clients", 16, "concurrent clients")
+	slow := flag.Int("slow", 0, "of -clients, how many read slowly")
+	stall := flag.Int("stall", 0, "of -clients, how many stop reading after the response")
+	rate := flag.String("rate", "100KB", "per-client PLAY rate")
+	duration := flag.Duration("duration", 5*time.Second, "run length")
+	stat := flag.Bool("stat", false, "send one STAT, print the response, exit")
+	metrics := flag.Bool("metrics", false, "send one METRICS, print the response, exit")
+	drained := flag.Duration("drained", 0, "poll STAT until admitted=0 or this timeout; exit 1 on timeout")
+	flag.Parse()
+
+	switch {
+	case *stat:
+		oneShot(*addr, "STAT")
+	case *metrics:
+		oneShot(*addr, "METRICS")
+	case *drained > 0:
+		if err := waitDrained(*addr, *drained); err != nil {
+			log.Fatalf("memsload: %v", err)
+		}
+		fmt.Println("drained: admitted=0")
+	default:
+		cfg := config{addr: *addr, clients: *clients, slow: *slow, stall: *stall,
+			rate: *rate, duration: *duration}
+		rep, err := run(cfg)
+		if err != nil {
+			log.Fatalf("memsload: %v", err)
+		}
+		fmt.Print(rep.String())
+		if rep.Errors > 0 {
+			os.Exit(1)
+		}
+	}
+}
+
+func oneShot(addr, cmd string) {
+	line, err := query(addr, cmd, 5*time.Second)
+	if err != nil {
+		log.Fatalf("memsload: %s: %v", cmd, err)
+	}
+	fmt.Println(line)
+}
+
+// run drives the configured client mix and aggregates their outcomes.
+func run(cfg config) (*report, error) {
+	if cfg.clients <= 0 {
+		return nil, fmt.Errorf("need at least one client")
+	}
+	if cfg.slow+cfg.stall > cfg.clients {
+		return nil, fmt.Errorf("slow (%d) + stalled (%d) exceed -clients %d", cfg.slow, cfg.stall, cfg.clients)
+	}
+	if _, err := units.ParseRate(cfg.rate); err != nil {
+		return nil, err
+	}
+	results := make([]clientResult, cfg.clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.clients; i++ {
+		kind := kindNormal
+		switch {
+		case i < cfg.stall:
+			kind = kindStalled
+		case i < cfg.stall+cfg.slow:
+			kind = kindSlow
+		}
+		wg.Add(1)
+		go func(i int, kind clientKind) {
+			defer wg.Done()
+			results[i] = runClient(cfg, kind)
+		}(i, kind)
+	}
+	wg.Wait()
+	rep := &report{
+		Clients: cfg.clients,
+		Wall:    time.Since(start),
+		Latency: sim.NewReservoir(4096, 1),
+	}
+	for _, r := range results {
+		switch {
+		case r.errored:
+			rep.Errors++
+		case r.busy:
+			rep.Busy++
+		case r.admitted:
+			rep.Admitted++
+		}
+		if r.admitted {
+			rep.Latency.Observe(r.latency.Seconds())
+		}
+		if r.completed {
+			rep.Completed++
+		}
+		if r.evicted {
+			rep.Evicted++
+		}
+		rep.Bytes += r.bytes
+	}
+	return rep, nil
+}
+
+// runClient runs one PLAY exchange in the given behavioral class.
+func runClient(cfg config, kind clientKind) (res clientResult) {
+	conn, err := net.DialTimeout("tcp", cfg.addr, 5*time.Second)
+	if err != nil {
+		res.errored = true
+		return res
+	}
+	defer conn.Close()
+	// Hard backstop so no client outlives the run by more than a grace
+	// period, whatever the server does.
+	conn.SetDeadline(time.Now().Add(cfg.duration + 10*time.Second))
+
+	t0 := time.Now()
+	if _, err := fmt.Fprintf(conn, "PLAY %s\n", cfg.rate); err != nil {
+		res.errored = true
+		return res
+	}
+	r := bufio.NewReader(conn)
+	line, err := r.ReadString('\n')
+	if err != nil {
+		res.errored = true
+		return res
+	}
+	res.latency = time.Since(t0)
+	switch {
+	case strings.HasPrefix(line, "BUSY"):
+		res.busy = true
+		return res
+	case strings.HasPrefix(line, "OK streaming"):
+		res.admitted = true
+	default:
+		res.errored = true
+		return res
+	}
+
+	end := time.Now().Add(cfg.duration)
+	switch kind {
+	case kindNormal:
+		res.bytes, res.completed = drainUntil(r, conn, end, 0)
+	case kindSlow:
+		// A slow reader: small reads with pauses. It exerts back-pressure
+		// but never stalls past the server's write deadline.
+		res.bytes, res.completed = drainUntil(r, conn, end, 20*time.Millisecond)
+	case kindStalled:
+		// Stop reading entirely: the server's write deadline must evict
+		// us. After the stall window, a drain read tells us whether the
+		// server closed the connection (eviction observed) or kept
+		// pumping data (it failed to evict).
+		time.Sleep(cfg.duration)
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		buf := make([]byte, 64<<10)
+		for {
+			n, err := r.Read(buf)
+			res.bytes += int64(n)
+			if err != nil {
+				isTimeout := false
+				if netErr, ok := err.(net.Error); ok {
+					isTimeout = netErr.Timeout()
+				}
+				res.evicted = !isTimeout // closed/reset by the server
+				return res
+			}
+		}
+	}
+	return res
+}
+
+// drainUntil reads the stream until the server closes it, the deadline
+// passes, or an error occurs; pause > 0 inserts a sleep between reads.
+// completed reports a clean server-side close (full -limit delivered).
+func drainUntil(r *bufio.Reader, conn net.Conn, end time.Time, pause time.Duration) (int64, bool) {
+	var total int64
+	buf := make([]byte, 32<<10)
+	if pause > 0 {
+		buf = buf[:1<<10] // small reads exaggerate slowness
+	}
+	for time.Now().Before(end) {
+		conn.SetReadDeadline(time.Now().Add(time.Until(end) + time.Second))
+		n, err := r.Read(buf)
+		total += int64(n)
+		if err != nil {
+			return total, err == io.EOF
+		}
+		if pause > 0 {
+			time.Sleep(pause)
+		}
+	}
+	return total, false
+}
+
+// query performs one command round-trip.
+func query(addr, cmd string, timeout time.Duration) (string, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return "", err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := fmt.Fprintf(conn, "%s\n", cmd); err != nil {
+		return "", err
+	}
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(line), nil
+}
+
+// waitDrained polls STAT until the server reports admitted=0 — the
+// zero-leaked-slots assertion the smoke test runs after a load.
+func waitDrained(addr string, within time.Duration) error {
+	deadline := time.Now().Add(within)
+	var last string
+	for time.Now().Before(deadline) {
+		line, err := query(addr, "STAT", 2*time.Second)
+		if err == nil {
+			last = line
+			if strings.HasPrefix(line, "OK admitted=0 ") {
+				return nil
+			}
+		} else {
+			last = err.Error()
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("server not drained within %v (last: %s)", within, last)
+}
+
+// String renders the human report.
+func (r *report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "memsload: %d clients, %v wall\n", r.Clients, r.Wall.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  admitted=%d busy=%d errors=%d completed=%d stall_evictions=%d\n",
+		r.Admitted, r.Busy, r.Errors, r.Completed, r.Evicted)
+	rate := units.RateOf(units.Bytes(r.Bytes), r.Wall)
+	fmt.Fprintf(&b, "  bytes_in=%v throughput=%v\n", units.Bytes(r.Bytes), rate)
+	p50, ok := r.Latency.Quantile(0.50)
+	if ok {
+		p95, _ := r.Latency.Quantile(0.95)
+		p99, _ := r.Latency.Quantile(0.99)
+		fmt.Fprintf(&b, "  admission_latency_ms: p50=%.2f p95=%.2f p99=%.2f\n",
+			p50*1e3, p95*1e3, p99*1e3)
+	} else {
+		fmt.Fprintf(&b, "  admission_latency_ms: no admissions\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"memstream/internal/disk"
+	"memstream/internal/model"
+	"memstream/internal/schedule"
+	"memstream/internal/serve"
+	"memstream/internal/units"
+)
+
+// startServer runs a hardened serve.Server on a loopback port with fast
+// deadlines, returning its address and the server for slot inspection.
+func startServer(t *testing.T, limit units.Bytes) (string, *serve.Server) {
+	t.Helper()
+	p := disk.FutureDisk()
+	s, err := serve.New(serve.Config{
+		Admission: &schedule.MixedAdmission{
+			Disk:    model.DeviceSpec{Rate: p.OuterRate, Latency: p.AvgAccess()},
+			DRAMCap: 1 * units.GB,
+		},
+		DefaultRate:  100 * units.KBPS,
+		Limit:        limit,
+		ReadTimeout:  time.Second,
+		WriteTimeout: 100 * time.Millisecond,
+		DrainTimeout: 2 * time.Second,
+		Quantum:      5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.Serve(ctx, ln)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Error("server did not drain")
+		}
+	})
+	return ln.Addr().String(), s
+}
+
+// The full loop: a mixed client population (normal + slow + stalled)
+// runs against a live server; normal and slow clients complete, stalled
+// clients are evicted, and the server ends with zero leaked slots.
+func TestLoadAgainstLiveServer(t *testing.T) {
+	addr, s := startServer(t, 20*units.KB) // ~40ms per stream at 100KB/s with 5ms quanta
+	rep, err := run(config{
+		addr:     addr,
+		clients:  6,
+		slow:     1,
+		stall:    2,
+		rate:     "100KB",
+		duration: 800 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("report:\n%s", rep)
+	if rep.Errors != 0 {
+		t.Errorf("Errors = %d, want 0", rep.Errors)
+	}
+	if rep.Admitted != 6 {
+		t.Errorf("Admitted = %d, want 6 (1GB DRAM fits all)", rep.Admitted)
+	}
+	// The 4 reading clients (3 normal + 1 slow) receive the full limit.
+	if rep.Completed < 4 {
+		t.Errorf("Completed = %d, want ≥ 4", rep.Completed)
+	}
+	// Both stalled clients observe the server closing on them.
+	if rep.Evicted != 2 {
+		t.Errorf("stall evictions = %d, want 2", rep.Evicted)
+	}
+	if rep.Bytes < int64(4*20*units.KB) {
+		t.Errorf("Bytes = %d, want ≥ %d", rep.Bytes, int64(4*20*units.KB))
+	}
+	if _, ok := rep.Latency.Quantile(0.5); !ok {
+		t.Error("no admission-latency samples recorded")
+	}
+	// Zero leaked slots after the load: the waitDrained probe the smoke
+	// test uses must succeed promptly.
+	if err := waitDrained(addr, 3*time.Second); err != nil {
+		t.Errorf("server did not drain after load: %v", err)
+	}
+	if got := s.Admitted(); got != 0 {
+		t.Errorf("Admitted = %d after load, want 0", got)
+	}
+}
+
+func TestQueryStatAndMetrics(t *testing.T) {
+	addr, _ := startServer(t, 1*units.KB)
+	line, err := query(addr, "STAT", 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(line, "OK admitted=0 capacity=") {
+		t.Errorf("STAT = %q", line)
+	}
+	line, err = query(addr, "METRICS", 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(line, "OK ") || !strings.Contains(line, "evicted=") {
+		t.Errorf("METRICS = %q", line)
+	}
+}
+
+func TestRunValidatesConfig(t *testing.T) {
+	if _, err := run(config{clients: 0}); err == nil {
+		t.Error("clients=0 accepted")
+	}
+	if _, err := run(config{clients: 2, slow: 2, stall: 1}); err == nil {
+		t.Error("slow+stall > clients accepted")
+	}
+	if _, err := run(config{clients: 1, rate: "fast"}); err == nil {
+		t.Error("bad rate accepted")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep, err := run(config{addr: "127.0.0.1:1", clients: 2, rate: "100KB", duration: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nothing listens there: both clients error, and the report renders.
+	if rep.Errors != 2 {
+		t.Errorf("Errors = %d, want 2", rep.Errors)
+	}
+	out := rep.String()
+	for _, key := range []string{"errors=2", "bytes_in=", "admission_latency_ms"} {
+		if !strings.Contains(out, key) {
+			t.Errorf("report %q missing %q", out, key)
+		}
+	}
+}

@@ -74,3 +74,13 @@ func (a *MixedAdmission) Release(rate units.ByteRate) bool {
 	}
 	return false
 }
+
+// ReleaseAll removes every admitted stream and returns how many were
+// released. A serving front-end that force-closes its remaining
+// connections after a drain deadline uses this to guarantee no admission
+// capacity stays pinned by connections that never unwound normally.
+func (a *MixedAdmission) ReleaseAll() int {
+	n := len(a.rates)
+	a.rates = a.rates[:0]
+	return n
+}

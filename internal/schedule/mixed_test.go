@@ -1,0 +1,101 @@
+package schedule
+
+import (
+	"testing"
+
+	"memstream/internal/disk"
+	"memstream/internal/model"
+	"memstream/internal/units"
+)
+
+func testAdmission(dram units.Bytes) *MixedAdmission {
+	p := disk.FutureDisk()
+	return &MixedAdmission{
+		Disk:    model.DeviceSpec{Rate: p.OuterRate, Latency: p.AvgAccess()},
+		DRAMCap: dram,
+	}
+}
+
+func TestMixedAdmitRelease(t *testing.T) {
+	a := testAdmission(1 * units.GB)
+	ok, err := a.TryAdmit(100 * units.KBPS)
+	if err != nil || !ok {
+		t.Fatalf("TryAdmit = %v, %v", ok, err)
+	}
+	ok, err = a.TryAdmit(200 * units.KBPS)
+	if err != nil || !ok {
+		t.Fatalf("TryAdmit = %v, %v", ok, err)
+	}
+	if got := a.Admitted(); got != 2 {
+		t.Fatalf("Admitted = %d, want 2", got)
+	}
+	if got := a.Aggregate(); got != 300*units.KBPS {
+		t.Errorf("Aggregate = %v, want 300KB/s", got)
+	}
+	if !a.Release(100 * units.KBPS) {
+		t.Error("Release of an admitted rate returned false")
+	}
+	if a.Release(100 * units.KBPS) {
+		t.Error("second Release of the same rate returned true")
+	}
+	if got := a.Admitted(); got != 1 {
+		t.Errorf("Admitted = %d after release, want 1", got)
+	}
+}
+
+func TestMixedRejectsNonPositiveRate(t *testing.T) {
+	a := testAdmission(1 * units.GB)
+	if _, err := a.TryAdmit(0); err == nil {
+		t.Error("TryAdmit(0) did not error")
+	}
+	if _, err := a.TryAdmit(-1 * units.KBPS); err == nil {
+		t.Error("TryAdmit(-1KB/s) did not error")
+	}
+}
+
+func TestMixedRefusesInfeasible(t *testing.T) {
+	a := testAdmission(1 * units.MB) // tiny DRAM budget
+	admitted := 0
+	for i := 0; i < 100; i++ {
+		ok, err := a.TryAdmit(10 * units.MBPS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		admitted++
+	}
+	if admitted == 0 || admitted == 100 {
+		t.Fatalf("admitted %d heavy streams under 1MB DRAM; want a small positive count", admitted)
+	}
+	// The refused admission must not have mutated the population.
+	if got := a.Admitted(); got != admitted {
+		t.Errorf("Admitted = %d after refusal, want %d", got, admitted)
+	}
+}
+
+func TestMixedReleaseAll(t *testing.T) {
+	a := testAdmission(1 * units.GB)
+	for i := 0; i < 5; i++ {
+		if ok, err := a.TryAdmit(100 * units.KBPS); err != nil || !ok {
+			t.Fatalf("admit %d failed", i)
+		}
+	}
+	if got := a.ReleaseAll(); got != 5 {
+		t.Errorf("ReleaseAll = %d, want 5", got)
+	}
+	if got := a.Admitted(); got != 0 {
+		t.Errorf("Admitted = %d after ReleaseAll, want 0", got)
+	}
+	if got := a.Aggregate(); got != 0 {
+		t.Errorf("Aggregate = %v after ReleaseAll, want 0", got)
+	}
+	if got := a.ReleaseAll(); got != 0 {
+		t.Errorf("ReleaseAll on empty population = %d, want 0", got)
+	}
+	// The controller is reusable after a full drain.
+	if ok, err := a.TryAdmit(100 * units.KBPS); err != nil || !ok {
+		t.Error("TryAdmit failed after ReleaseAll")
+	}
+}

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"memstream/internal/sim"
+)
+
+// Metrics is the supervisor's observability surface: monotonic counters
+// for every connection outcome plus a pacing-lag histogram. Counters are
+// atomics so the hot streaming path never takes a lock; the lag reservoir
+// (a sim.Reservoir, the same estimator the simulator uses for delivery
+// margins) has its own mutex because Observe mutates shared state.
+type Metrics struct {
+	Accepted      atomic.Uint64 // connections admitted past the conn semaphore
+	Sheds         atomic.Uint64 // connections shed BUSY at the max-conns cap
+	Reaped        atomic.Uint64 // request lines that hit the read deadline
+	BadRequests   atomic.Uint64 // malformed or unknown commands
+	AdmittedTotal atomic.Uint64 // PLAY requests admitted by Theorem 1
+	AdmissionBusy atomic.Uint64 // PLAY requests refused by Theorem 1
+	Completed     atomic.Uint64 // streams that delivered their full byte budget
+	Evicted       atomic.Uint64 // streams killed by a write deadline or drain
+	BytesOut      atomic.Uint64 // stream payload bytes written
+
+	ActiveStreams atomic.Int64 // gauge: streams currently holding a slot
+
+	mu  sync.Mutex
+	lag *sim.Reservoir // pacing lag per quantum, in seconds
+}
+
+// lagReservoirCap bounds the retained lag sample; 8192 matches the
+// simulator's margin reservoirs.
+const lagReservoirCap = 8192
+
+func newMetrics(seed uint64) *Metrics {
+	return &Metrics{lag: sim.NewReservoir(lagReservoirCap, seed)}
+}
+
+// ObserveLag records one pacing-lag sample (seconds a chunk completed
+// after its quantum boundary).
+func (m *Metrics) ObserveLag(sec float64) {
+	m.mu.Lock()
+	m.lag.Observe(sec)
+	m.mu.Unlock()
+}
+
+// LagQuantile returns the q-quantile of the pacing-lag sample in seconds;
+// ok is false when no lag has been observed yet.
+func (m *Metrics) LagQuantile(q float64) (float64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lag.Quantile(q)
+}
+
+// lagSamples reports how many lag observations were made.
+func (m *Metrics) lagSamples() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lag.N()
+}
+
+// Line renders the expvar-style single-line METRICS response body:
+// space-separated key=value pairs, stable key order. admitted is the
+// current admission-controller gauge, passed in by the server because
+// the controller lives behind its lock, not here.
+func (m *Metrics) Line(admitted int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "accepted=%d", m.Accepted.Load())
+	fmt.Fprintf(&b, " sheds=%d", m.Sheds.Load())
+	fmt.Fprintf(&b, " reaped=%d", m.Reaped.Load())
+	fmt.Fprintf(&b, " bad_requests=%d", m.BadRequests.Load())
+	fmt.Fprintf(&b, " admitted=%d", admitted)
+	fmt.Fprintf(&b, " admitted_total=%d", m.AdmittedTotal.Load())
+	fmt.Fprintf(&b, " admission_busy=%d", m.AdmissionBusy.Load())
+	fmt.Fprintf(&b, " active_streams=%d", m.ActiveStreams.Load())
+	fmt.Fprintf(&b, " completed=%d", m.Completed.Load())
+	fmt.Fprintf(&b, " evicted=%d", m.Evicted.Load())
+	fmt.Fprintf(&b, " bytes_out=%d", m.BytesOut.Load())
+	fmt.Fprintf(&b, " lag_samples=%d", m.lagSamples())
+	for _, q := range [...]struct {
+		name string
+		q    float64
+	}{{"lag_p50_ms", 0.50}, {"lag_p95_ms", 0.95}, {"lag_p99_ms", 0.99}} {
+		v, ok := m.LagQuantile(q.q)
+		if !ok {
+			v = 0
+		}
+		fmt.Fprintf(&b, " %s=%.3f", q.name, v*1e3)
+	}
+	return b.String()
+}

@@ -1,0 +1,396 @@
+// Package serve is the production front-end for the admission-controlled
+// streaming server: a connection supervisor that wraps the analytical
+// planner's MixedAdmission controller with the lifecycle machinery a
+// network-facing process needs and the demo listener lacked.
+//
+// Admission capacity is the scarce resource Theorem 1 guards, so the
+// supervisor's job is to make sure no connection can pin an admitted
+// slot beyond its useful life:
+//
+//   - a read deadline on the request line reaps slowloris clients that
+//     connect and never speak (bounded in bytes as well as time);
+//   - a write deadline on every streamed chunk evicts clients that stop
+//     reading, returning their slot to the admission controller;
+//   - a max-connections semaphore sheds excess connections with a fast
+//     BUSY line before they consume a goroutine or file descriptor;
+//   - context cancellation (wired to SIGINT/SIGTERM by cmd/memserve)
+//     triggers a graceful drain: stop accepting, let in-flight streams
+//     finish up to a deadline, force-close the rest, and release every
+//     admission slot before returning;
+//   - pacing runs against absolute monotonic-clock quantum boundaries
+//     (units.Pacer), so a blocked write delays one chunk without
+//     shifting the whole schedule, and sub-byte-per-quantum rates carry
+//     their fractional bytes instead of stalling forever.
+//
+// The wire protocol stays the demo's line protocol: "PLAY <rate>",
+// "STAT", plus a new "METRICS" command exposing the supervisor's
+// counters and pacing-lag histogram (see Metrics.Line).
+package serve
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"memstream/internal/model"
+	"memstream/internal/schedule"
+	"memstream/internal/units"
+)
+
+// Defaults applied by New for zero Config fields.
+const (
+	DefaultReadTimeout  = 5 * time.Second
+	DefaultWriteTimeout = 5 * time.Second
+	DefaultDrainTimeout = 10 * time.Second
+	DefaultMaxConns     = 1024
+	DefaultQuantum      = 100 * time.Millisecond
+
+	// maxRequestLine bounds the request line in bytes, so a client
+	// trickling an endless header cannot hold the reader past it.
+	maxRequestLine = 1024
+
+	// maxWriteChunk caps a single Write: after a blocked write the pacer
+	// owes a catch-up burst (rate × stall), which is sent as bounded
+	// slices instead of one allocation proportional to the stall.
+	maxWriteChunk = 256 << 10
+)
+
+// Config parameterizes a Server. Admission and DefaultRate are required;
+// every zero duration/count takes the package default.
+type Config struct {
+	Admission   *schedule.MixedAdmission
+	DefaultRate units.ByteRate // PLAY with no rate argument
+	Limit       units.Bytes    // bytes streamed per client; 0 = unlimited
+
+	ReadTimeout  time.Duration // request-line deadline (slowloris reaping)
+	WriteTimeout time.Duration // per-chunk write deadline (stalled-reader eviction)
+	DrainTimeout time.Duration // graceful-drain budget after ctx cancellation
+	MaxConns     int           // concurrent-connection cap (BUSY shed beyond it)
+	Quantum      time.Duration // pacing quantum
+
+	MetricsSeed uint64 // seeds the pacing-lag reservoir (reproducible tests)
+
+	Logf func(format string, args ...any) // nil = silent
+}
+
+// Server supervises one listener. Create with New; run with Serve.
+type Server struct {
+	cfg     Config
+	sem     chan struct{}
+	metrics *Metrics
+
+	mu    sync.Mutex // guards adm (MixedAdmission is not goroutine-safe) and conns
+	conns map[net.Conn]struct{}
+}
+
+// New validates cfg, fills defaults, and builds a Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Admission == nil {
+		return nil, errors.New("serve: Config.Admission is required")
+	}
+	if cfg.DefaultRate <= 0 {
+		return nil, fmt.Errorf("serve: non-positive default rate %v", cfg.DefaultRate)
+	}
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = DefaultReadTimeout
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = DefaultWriteTimeout
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = DefaultDrainTimeout
+	}
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = DefaultMaxConns
+	}
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = DefaultQuantum
+	}
+	return &Server{
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.MaxConns),
+		metrics: newMetrics(cfg.MetricsSeed),
+		conns:   make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Metrics exposes the supervisor's counters and lag histogram.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Admitted reports the admission controller's current stream count.
+func (s *Server) Admitted() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cfg.Admission.Admitted()
+}
+
+// Capacity is the homogeneous-rate yardstick shown in STAT responses:
+// the largest stream count at the default rate the admission spec
+// sustains. The actual admission decision handles arbitrary rate mixes.
+func (s *Server) Capacity() int {
+	return model.MaxStreamsDirect(s.cfg.DefaultRate, s.cfg.Admission.Disk, s.cfg.Admission.DRAMCap)
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections on ln until ctx is cancelled, then drains:
+// the listener closes immediately, in-flight streams get up to
+// DrainTimeout to finish, stragglers are force-closed, and every
+// admission slot is released before Serve returns. Serve closes ln.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	defer ln.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			ln.Close() // unblocks Accept
+		case <-stop:
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				break
+			}
+			s.logf("serve: accept: %v", err)
+			time.Sleep(10 * time.Millisecond) // avoid a hot loop on persistent errors
+			continue
+		}
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			// At the connection cap: shed fast, off the accept loop, and
+			// without touching admission — a shed must not Release a slot
+			// it never held.
+			s.metrics.Sheds.Add(1)
+			go shed(conn)
+			continue
+		}
+		s.metrics.Accepted.Add(1)
+		s.track(conn)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-s.sem }()
+			defer s.untrack(conn)
+			defer conn.Close()
+			s.handle(conn)
+		}()
+	}
+
+	// Graceful drain: accepting has stopped; in-flight streams may finish
+	// up to the deadline, then the rest are force-closed (their write
+	// paths error out and unwind, releasing their slots).
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	timer := time.NewTimer(s.cfg.DrainTimeout)
+	defer timer.Stop()
+	select {
+	case <-done:
+	case <-timer.C:
+		s.logf("serve: drain deadline after %v; force-closing %d connections",
+			s.cfg.DrainTimeout, s.activeConns())
+		s.closeAll()
+		<-done
+	}
+
+	// Safety net: every handler has unwound, so any slot still held would
+	// be leaked capacity. Reclaim it loudly.
+	s.mu.Lock()
+	leaked := s.cfg.Admission.ReleaseAll()
+	s.mu.Unlock()
+	if leaked > 0 {
+		s.logf("serve: drain reclaimed %d leaked admission slots", leaked)
+	}
+	return nil
+}
+
+// shed refuses one connection with a fast BUSY line. The short deadline
+// bounds the goroutine even against a client with a zero receive window.
+func shed(conn net.Conn) {
+	conn.SetWriteDeadline(time.Now().Add(time.Second))
+	fmt.Fprintln(conn, "BUSY connection capacity exhausted")
+	conn.Close()
+}
+
+func (s *Server) track(conn net.Conn) {
+	s.mu.Lock()
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+func (s *Server) activeConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+func (s *Server) closeAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+}
+
+// writeLine writes one protocol line under the write deadline.
+func (s *Server) writeLine(conn net.Conn, format string, args ...any) error {
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	_, err := fmt.Fprintf(conn, format+"\n", args...)
+	return err
+}
+
+// handle serves one connection: read the request line under the read
+// deadline, dispatch the command, and — for PLAY — hold an admission
+// slot exactly as long as the stream runs.
+func (s *Server) handle(conn net.Conn) {
+	conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+	r := bufio.NewReaderSize(io.LimitReader(conn, maxRequestLine), maxRequestLine)
+	line, err := r.ReadString('\n')
+	if err != nil {
+		// Timeout: a slowloris (or silent) client held the line open
+		// without completing a request — reap it. Size-limit EOF means
+		// the "line" never terminated inside maxRequestLine: same reap.
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() || errors.Is(err, io.EOF) && len(line) > 0 {
+			s.metrics.Reaped.Add(1)
+		}
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) == 0 {
+		s.metrics.BadRequests.Add(1)
+		s.writeLine(conn, "ERR empty request")
+		return
+	}
+	switch strings.ToUpper(fields[0]) {
+	case "STAT":
+		s.mu.Lock()
+		admitted := s.cfg.Admission.Admitted()
+		agg := s.cfg.Admission.Aggregate()
+		s.mu.Unlock()
+		s.writeLine(conn, "OK admitted=%d capacity=%d aggregate=%v", admitted, s.Capacity(), agg)
+	case "METRICS":
+		s.writeLine(conn, "OK %s", s.metrics.Line(s.Admitted()))
+	case "PLAY":
+		s.play(conn, fields)
+	default:
+		s.metrics.BadRequests.Add(1)
+		s.writeLine(conn, "ERR unknown command %q", fields[0])
+	}
+}
+
+// play admits and runs one stream.
+func (s *Server) play(conn net.Conn, fields []string) {
+	rate := s.cfg.DefaultRate
+	if len(fields) > 1 {
+		parsed, err := units.ParseRate(fields[1])
+		if err != nil || parsed <= 0 {
+			s.metrics.BadRequests.Add(1)
+			s.writeLine(conn, "ERR bad rate %q", fields[1])
+			return
+		}
+		rate = parsed
+	}
+	s.mu.Lock()
+	ok, err := s.cfg.Admission.TryAdmit(rate)
+	s.mu.Unlock()
+	if err != nil || !ok {
+		s.metrics.AdmissionBusy.Add(1)
+		s.writeLine(conn, "BUSY real-time capacity exhausted")
+		return
+	}
+	s.metrics.AdmittedTotal.Add(1)
+	s.metrics.ActiveStreams.Add(1)
+	defer func() {
+		s.mu.Lock()
+		s.cfg.Admission.Release(rate)
+		s.mu.Unlock()
+		s.metrics.ActiveStreams.Add(-1)
+	}()
+	if err := s.writeLine(conn, "OK streaming at %v", rate); err != nil {
+		s.metrics.Evicted.Add(1)
+		return
+	}
+	s.stream(conn, rate)
+}
+
+// stream paces synthetic data to conn at the requested rate. Each chunk
+// is due at an absolute quantum boundary anchored to the stream's start
+// on the monotonic clock; the pacer carries fractional bytes, so any
+// positive rate eventually reaches the byte budget. A write that misses
+// the write deadline evicts the client.
+func (s *Server) stream(conn net.Conn, rate units.ByteRate) {
+	pacer := units.NewPacer(rate, s.cfg.Quantum)
+	start := time.Now()
+	bufSize := int(units.BytesIn(rate, s.cfg.Quantum)) + 1
+	if bufSize > maxWriteChunk {
+		bufSize = maxWriteChunk
+	}
+	buf := make([]byte, bufSize)
+	for i := range buf {
+		buf[i] = byte('A' + i%26)
+	}
+	var sent units.Bytes
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		n := pacer.Next()
+		boundary := pacer.Deadline(start)
+		if d := time.Until(boundary); d > 0 {
+			timer.Reset(d)
+			<-timer.C
+		}
+		for n > 0 {
+			m := n
+			if m > len(buf) {
+				m = len(buf)
+			}
+			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			if _, err := conn.Write(buf[:m]); err != nil {
+				s.metrics.Evicted.Add(1)
+				return
+			}
+			s.metrics.BytesOut.Add(uint64(m))
+			sent += units.Bytes(m)
+			n -= m
+			if s.cfg.Limit > 0 && sent >= s.cfg.Limit {
+				s.metrics.ObserveLag(time.Since(boundary).Seconds())
+				s.metrics.Completed.Add(1)
+				return
+			}
+		}
+		// Lag is measured after the quantum's writes complete, so it
+		// captures both scheduler wake-up latency and client back-pressure.
+		if lag := time.Since(boundary); lag > 0 {
+			s.metrics.ObserveLag(lag.Seconds())
+		} else {
+			s.metrics.ObserveLag(0)
+		}
+	}
+}

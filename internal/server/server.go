@@ -11,6 +11,8 @@ package server
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"time"
 
 	"memstream/internal/device"
@@ -333,14 +335,17 @@ func newCatalog(cfg Config, blockSize units.Bytes) (*workload.Catalog, error) {
 
 // normalizeTrace rescales a VBR trace so its mean is exactly the nominal
 // rate — the time-cycle supply delivers the nominal rate, so an off-mean
-// trace would drift rather than oscillate.
+// trace would drift rather than oscillate. A trace whose sum is not a
+// positive finite number (all-zero, or corrupted with NaN/Inf) is left
+// untouched: dividing by it would inject NaN/Inf rates straight into the
+// consumption integral.
 func normalizeTrace(trace []units.ByteRate, nominal units.ByteRate) {
-	if len(trace) == 0 {
-		return
-	}
 	var sum float64
 	for _, r := range trace {
 		sum += float64(r)
+	}
+	if !(sum > 0) || math.IsInf(sum, 1) {
+		return
 	}
 	scale := float64(nominal) * float64(len(trace)) / sum
 	for i := range trace {
@@ -396,22 +401,27 @@ func pauseIntegrator(rng *sim.RNG, rate units.ByteRate, meanPlay, meanPause, hor
 		consumed = append(consumed, c)
 		playing = !playing
 	}
+	// The scheduler drains every player each cycle, so at() runs O(cycles)
+	// times per stream; a linear scan over all boundaries made each drain
+	// O(phases) and a run O(n²). Binary search over the sorted boundary
+	// list keeps each lookup O(log n).
 	at := func(x time.Duration) float64 {
 		xs := x.Seconds()
-		if xs <= 0 {
+		if xs <= 0 || len(boundaries) == 0 {
 			return 0
 		}
-		prevT, prevC := 0.0, 0.0
-		for i, b := range boundaries {
-			if xs <= b {
-				if i%2 == 0 { // inside a play phase
-					return prevC + float64(rate)*(xs-prevT)
-				}
-				return prevC // inside a pause phase
-			}
-			prevT, prevC = b, consumed[i]
+		i := sort.SearchFloat64s(boundaries, xs) // first boundary ≥ xs
+		if i == len(boundaries) {
+			return consumed[len(consumed)-1] // beyond the horizon: treat as paused
 		}
-		return prevC // beyond the horizon: treat as paused
+		prevT, prevC := 0.0, 0.0
+		if i > 0 {
+			prevT, prevC = boundaries[i-1], consumed[i-1]
+		}
+		if i%2 == 0 { // inside a play phase
+			return prevC + float64(rate)*(xs-prevT)
+		}
+		return prevC // inside a pause phase
 	}
 	return func(from, to time.Duration) units.Bytes {
 		return units.Bytes(at(to) - at(from))

@@ -1,0 +1,60 @@
+package units
+
+import "time"
+
+// Pacer converts a byte rate into a sequence of whole-byte chunk sizes,
+// one per fixed pacing quantum, without losing the fractional bytes that
+// integer truncation would drop. A naive `int(BytesIn(rate, quantum))`
+// yields zero for sub-quantum rates (rate·quantum < 1 byte), so a sender
+// paced that way never makes progress; the Pacer instead tracks the
+// cumulative byte budget at each quantum boundary and emits the whole
+// bytes that have become due, carrying the remainder forward.
+//
+// The budget is recomputed from the tick index on every call rather than
+// accumulated incrementally, so per-quantum float error does not compound
+// over long streams.
+type Pacer struct {
+	rate    ByteRate
+	quantum time.Duration
+	ticks   int64 // quanta elapsed
+	sent    float64
+}
+
+// NewPacer creates a pacer emitting chunks for rate at one chunk per
+// quantum. It panics on a non-positive quantum; a non-positive rate
+// yields a pacer that always returns zero.
+func NewPacer(rate ByteRate, quantum time.Duration) *Pacer {
+	if quantum <= 0 {
+		panic("units: non-positive pacing quantum")
+	}
+	return &Pacer{rate: rate, quantum: quantum}
+}
+
+// Quantum returns the pacing interval.
+func (p *Pacer) Quantum() time.Duration { return p.quantum }
+
+// Next advances one quantum and returns the whole bytes due, carrying
+// any fractional remainder into later quanta. For sub-quantum rates it
+// returns 0 for several calls and then 1 once a whole byte accrues.
+func (p *Pacer) Next() int {
+	if p.rate <= 0 {
+		return 0
+	}
+	p.ticks++
+	due := float64(p.rate) * (time.Duration(p.ticks) * p.quantum).Seconds()
+	n := int(due - p.sent)
+	if n < 0 {
+		n = 0
+	}
+	p.sent += float64(n)
+	return n
+}
+
+// Deadline returns the wall-clock instant of the most recently issued
+// quantum, measured from the given stream start. Pacing against these
+// absolute boundaries (rather than sleeping a relative quantum after each
+// write) keeps the schedule anchored to the monotonic clock: a write that
+// blocks does not shift every later deadline.
+func (p *Pacer) Deadline(start time.Time) time.Time {
+	return start.Add(time.Duration(p.ticks) * p.quantum)
+}

@@ -1,0 +1,76 @@
+package units
+
+import (
+	"testing"
+	"time"
+)
+
+// Regression: a sub-quantum rate (rate·quantum < 1 byte) must still make
+// progress. The old memserve code computed int(BytesIn(rate, quantum))
+// once — zero for rates below 10 B/s at 100ms quanta — so the stream
+// never advanced and held its admission slot forever.
+func TestPacerSubQuantumRateMakesProgress(t *testing.T) {
+	p := NewPacer(3*BPS, 100*time.Millisecond) // 0.3 bytes per quantum
+	total := 0
+	for i := 0; i < 100; i++ { // 10 simulated seconds
+		total += p.Next()
+	}
+	if total != 30 {
+		t.Errorf("3 B/s over 10s emitted %d bytes, want 30", total)
+	}
+}
+
+func TestPacerWholeQuantumRate(t *testing.T) {
+	p := NewPacer(100*KBPS, 100*time.Millisecond)
+	for i := 0; i < 5; i++ {
+		if n := p.Next(); n != 10000 {
+			t.Fatalf("quantum %d: chunk = %d, want 10000", i, n)
+		}
+	}
+}
+
+// The cumulative budget is exact at every boundary: fractional carry
+// never loses or duplicates bytes, whatever the rate/quantum mix.
+func TestPacerCumulativeExact(t *testing.T) {
+	for _, rate := range []ByteRate{1, 3, 7, 999, 100e3, 123456.789} {
+		p := NewPacer(rate, 10*time.Millisecond)
+		total := 0
+		const quanta = 1000 // 10 simulated seconds
+		for i := 0; i < quanta; i++ {
+			total += p.Next()
+		}
+		want := float64(rate) * 10.0
+		if diff := want - float64(total); diff < 0 || diff >= 1 {
+			t.Errorf("rate %v: emitted %d bytes over 10s, want within 1 of %.2f", rate, total, want)
+		}
+	}
+}
+
+func TestPacerNonPositiveRate(t *testing.T) {
+	p := NewPacer(0, time.Second)
+	for i := 0; i < 3; i++ {
+		if n := p.Next(); n != 0 {
+			t.Fatalf("zero-rate pacer emitted %d bytes", n)
+		}
+	}
+}
+
+func TestPacerDeadlineAnchored(t *testing.T) {
+	p := NewPacer(1*KBPS, 100*time.Millisecond)
+	start := time.Unix(1000, 0)
+	p.Next()
+	p.Next()
+	p.Next()
+	if got, want := p.Deadline(start), start.Add(300*time.Millisecond); !got.Equal(want) {
+		t.Errorf("Deadline after 3 quanta = %v, want %v", got, want)
+	}
+}
+
+func TestPacerPanicsOnBadQuantum(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewPacer(r, 0) did not panic")
+		}
+	}()
+	NewPacer(1*KBPS, 0)
+}

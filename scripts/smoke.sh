@@ -1,0 +1,62 @@
+#!/bin/sh
+# smoke.sh — memserve ↔ memsload end-to-end smoke test.
+#
+# Starts the server, applies a short load that includes deliberately
+# stalled readers, and asserts the hardening invariants:
+#   1. the load itself completes with zero client errors,
+#   2. every stalled reader is evicted (write deadline) and every slot
+#      returns to the admission controller (admitted=0 via STAT),
+#   3. SIGTERM drains gracefully: the server exits 0 within the drain
+#      budget with no force-kill.
+set -eu
+
+ADDR="${SMOKE_ADDR:-127.0.0.1:9391}"
+BIN="$(mktemp -d)"
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$BIN"' EXIT
+
+echo "smoke: building"
+go build -o "$BIN/memserve" ./cmd/memserve
+go build -o "$BIN/memsload" ./cmd/memsload
+
+# -limit 0 (unlimited) so streams end only by eviction or client close:
+# the stalled readers must fill the kernel socket buffers and trip the
+# write deadline — the real eviction path, not completion into buffers.
+echo "smoke: starting memserve on $ADDR"
+"$BIN/memserve" -addr "$ADDR" -dram 1GB -bitrate 100KB -limit 0 \
+    -read-timeout 2s -write-timeout 500ms -drain 5s -quantum 20ms &
+SERVER_PID=$!
+
+# Wait for the listener.
+i=0
+until "$BIN/memsload" -addr "$ADDR" -stat >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "smoke: server never came up" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+echo "smoke: running load (8 clients: 5 normal, 1 slow, 2 stalled)"
+"$BIN/memsload" -addr "$ADDR" -clients 8 -slow 1 -stall 2 -rate 4MB -duration 3s
+
+echo "smoke: asserting zero leaked admission slots"
+"$BIN/memsload" -addr "$ADDR" -drained 5s
+METRICS_LINE="$("$BIN/memsload" -addr "$ADDR" -metrics)"
+echo "$METRICS_LINE"
+case "$METRICS_LINE" in
+*" evicted=0 "*)
+    echo "smoke: stalled readers were never evicted by the write deadline" >&2
+    exit 1
+    ;;
+esac
+
+echo "smoke: SIGTERM drain"
+kill -TERM "$SERVER_PID"
+STATUS=0
+wait "$SERVER_PID" || STATUS=$?
+if [ "$STATUS" -ne 0 ]; then
+    echo "smoke: memserve exited $STATUS after SIGTERM, want 0" >&2
+    exit 1
+fi
+echo "smoke: OK"
