@@ -45,8 +45,10 @@ fuzz:
 	$(GO) test -fuzz FuzzReadText -fuzztime 30s ./internal/trace/
 	$(GO) test -fuzz FuzzReadBinary -fuzztime 30s ./internal/trace/
 
+# cover runs the suite with coverage profiles and enforces the
+# internal/server statement-coverage floor (scripts/cover.sh).
 cover:
-	$(GO) test -cover ./...
+	sh scripts/cover.sh
 
 clean:
 	rm -rf results

@@ -28,6 +28,8 @@ import (
 	"memstream/internal/disk"
 	"memstream/internal/experiments"
 	"memstream/internal/mems"
+	"memstream/internal/model"
+	"memstream/internal/server"
 	"memstream/internal/sim"
 	"memstream/internal/trace"
 	"memstream/internal/units"
@@ -53,10 +55,20 @@ func main() {
 	parallel := flag.Int("parallel", 0, "with -experiments: worker count (0 = GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "with -experiments: write the per-run metrics document to this file")
 	outDir := flag.String("out", "", "with -experiments: write artifact text files to this directory")
+	simMode := flag.String("sim", "", "run one server simulation with per-cycle tracing: direct, edf, buffered, cached, hybrid")
+	simStreams := flag.Int("streams", 0, "with -sim: concurrent streams (0 = mode default)")
+	simRate := flag.String("bitrate", "", "with -sim: per-stream bit rate, e.g. 1MB (default: mode default)")
+	tracePath := flag.String("trace", "", "with -sim: write the trace JSON document to this file (default stdout)")
 	flag.Parse()
 
 	if *exp {
 		if err := runExperiments(*runPat, *seed, *parallel, *jsonPath, *outDir, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *simMode != "" {
+		if err := runSim(*simMode, *simStreams, *simRate, *seed, *tracePath); err != nil {
 			fatal(err)
 		}
 		return
@@ -275,6 +287,98 @@ func runExperiments(pattern string, rootSeed uint64, parallel int, jsonPath, out
 		return fmt.Errorf("%d of %d experiments failed", n, len(suite.Runs))
 	}
 	return nil
+}
+
+// traceDoc is the JSON document -sim emits: the run's identity, its
+// end-of-run scalars, and the per-cycle time series the server's probe
+// recorded (see EXPERIMENTS.md for the schema).
+type traceDoc struct {
+	Mode          string        `json:"mode"`
+	Streams       int           `json:"streams"`
+	BitRate       units.Bytes   `json:"bit_rate_bps"`
+	Seed          uint64        `json:"seed"`
+	SimulatedTime time.Duration `json:"simulated_ns"`
+	Cycles        int64         `json:"cycles"`
+	Events        uint64        `json:"events"`
+	Underflows    int           `json:"underflows"`
+	DRAMHighWater units.Bytes   `json:"dram_high_water"`
+	DiskUtil      float64       `json:"disk_util"`
+	MEMSUtil      float64       `json:"mems_util"`
+	Trace         *server.Trace `json:"trace"`
+}
+
+// runSim runs one server simulation with the observability probe attached
+// and writes the per-cycle trace JSON document to path (stdout if empty).
+func runSim(mode string, streams int, rate string, seed uint64, path string) error {
+	cfg := server.Config{
+		Disk: disk.FutureDisk(), MEMS: mems.G3(), K: 2,
+		Titles: 50, X: 10, Y: 90, Seed: seed, Trace: true,
+	}
+	// Mode defaults mirror the paper's operating points: DVD-rate streams
+	// on the disk paths, DivX-rate fan-out on the cache paths.
+	n, br := 50, 1*units.MBPS
+	switch mode {
+	case "direct":
+		cfg.Mode = server.Direct
+	case "edf":
+		cfg.Mode = server.Direct
+		cfg.UseEDF = true
+	case "buffered":
+		cfg.Mode = server.Buffered
+		n = 100
+	case "cached":
+		cfg.Mode = server.Cached
+		cfg.CachePolicy = model.Striped
+		n, br = 200, 100*units.KBPS
+		cfg.Titles = 400
+	case "hybrid":
+		cfg.Mode = server.Hybrid
+		cfg.K, cfg.CacheDevices = 4, 2
+		n, br = 300, 100*units.KBPS
+		cfg.Titles = 400
+	default:
+		return fmt.Errorf("unknown -sim mode %q (want direct, edf, buffered, cached, hybrid)", mode)
+	}
+	if streams > 0 {
+		n = streams
+	}
+	if rate != "" {
+		b, err := units.ParseBytes(rate)
+		if err != nil {
+			return fmt.Errorf("bad -bitrate: %w", err)
+		}
+		br = units.ByteRate(b)
+	}
+	cfg.N, cfg.BitRate = n, br
+
+	res, err := server.Run(cfg)
+	if err != nil {
+		return err
+	}
+	doc := traceDoc{
+		Mode:          mode,
+		Streams:       res.Streams,
+		BitRate:       units.Bytes(br),
+		Seed:          seed,
+		SimulatedTime: res.SimulatedTime,
+		Cycles:        res.Cycles,
+		Events:        res.Events,
+		Underflows:    res.Underflows,
+		DRAMHighWater: res.DRAMHighWater,
+		DiskUtil:      res.DiskUtil,
+		MEMSUtil:      res.MEMSUtil,
+		Trace:         res.Trace,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 func fatal(err error) {

@@ -26,6 +26,7 @@ type Metrics struct {
 	Wall       time.Duration `json:"wall_ns"` // filled by the suite runner
 	Events     uint64        `json:"events"`  // simulation-kernel events fired
 	Streams    int           `json:"streams"` // streams served across embedded sims
+	Cycles     int64         `json:"cycles"`  // scheduling cycles driven across embedded sims
 	Underflows int           `json:"underflows"`
 }
 
@@ -33,6 +34,7 @@ type Metrics struct {
 func (m *Metrics) addRun(sr server.Result) {
 	m.Events += sr.Events
 	m.Streams += sr.Streams
+	m.Cycles += sr.Cycles
 	m.Underflows += sr.Underflows
 }
 

@@ -19,6 +19,7 @@ type RunReport struct {
 	Wall       time.Duration `json:"wall_ns"`
 	Events     uint64        `json:"events"`
 	Streams    int           `json:"streams"`
+	Cycles     int64         `json:"cycles"`
 	Underflows int           `json:"underflows"`
 	Error      string        `json:"error,omitempty"`
 
@@ -135,6 +136,7 @@ func RunSuite(ids []string, rootSeed uint64, parallel int, progress func(done, t
 					rep.Result = res
 					rep.Events = res.Metrics.Events
 					rep.Streams = res.Metrics.Streams
+					rep.Cycles = res.Metrics.Cycles
 					rep.Underflows = res.Metrics.Underflows
 				}
 				suite.Runs[i] = rep

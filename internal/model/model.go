@@ -246,3 +246,23 @@ func BufferPlan(cfg BufferConfig) (BufferedPlan, error) {
 	}
 	return plan, nil
 }
+
+// CapDiskCycle bounds the plan's disk cycle at limit and recomputes the
+// dependent quantities. Theorem 2 maximizes T_disk to the capacity bound
+// (often hundreds of seconds), which is fine analytically but impractical
+// to simulate; capping shrinks the disk-side IO proportionally
+// (S_disk-mems = B̄·T_disk) while the MEMS cycle keeps the plan's M/N
+// ratio, clamped at the bandwidth-limited minimum C. The load must be the
+// one the plan was computed for. A plan already within the limit is left
+// untouched.
+func (p *BufferedPlan) CapDiskCycle(limit time.Duration, load StreamLoad) {
+	if p.DiskCycle <= limit {
+		return
+	}
+	p.DiskCycle = limit
+	p.DiskIOSize = units.Bytes(float64(load.BitRate) * limit.Seconds())
+	p.MEMSCycle = time.Duration(float64(limit) * float64(p.M) / float64(load.N))
+	if p.MEMSCycle < p.MinMEMSCycle {
+		p.MEMSCycle = p.MinMEMSCycle
+	}
+}

@@ -482,3 +482,60 @@ func TestPolicyStringUnknown(t *testing.T) {
 		t.Errorf("unknown policy = %q", got)
 	}
 }
+
+func TestCapDiskCycle(t *testing.T) {
+	// The hand-checked Theorem 2 instance: T_disk maximizes to the
+	// capacity bound, k·Size/(2NB̄) = 1000s.
+	cfg := BufferConfig{
+		Load:          StreamLoad{N: 10, BitRate: 1 * units.MBPS},
+		Disk:          futureDiskSpec(),
+		MEMS:          g3Spec(),
+		K:             2,
+		SizePerDevice: 10 * units.GB,
+	}
+	fresh := func() BufferedPlan {
+		plan, err := BufferPlan(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return plan
+	}
+	orig := fresh()
+	if !durClose(orig.DiskCycle, units.Seconds(1000), 1e-9) {
+		t.Fatalf("T_disk = %v, want 1000s", orig.DiskCycle)
+	}
+
+	// A limit above the planned cycle leaves every field untouched.
+	p := fresh()
+	p.CapDiskCycle(2000*time.Second, cfg.Load)
+	if p != orig {
+		t.Errorf("cap above plan mutated it:\n got %+v\nwant %+v", p, orig)
+	}
+
+	// A limit below recomputes the dependent quantities for the shorter
+	// cycle: S_disk-mems = B̄·T and T_mems = T·M/N.
+	p = fresh()
+	p.CapDiskCycle(20*time.Second, cfg.Load)
+	if p.DiskCycle != 20*time.Second {
+		t.Errorf("T_disk = %v, want 20s", p.DiskCycle)
+	}
+	if got, want := float64(p.DiskIOSize), 20e6; math.Abs(got-want) > 1 {
+		t.Errorf("DiskIOSize = %v, want 20MB", p.DiskIOSize)
+	}
+	if want := time.Duration(float64(20*time.Second) * float64(p.M) / 10); p.MEMSCycle != want {
+		t.Errorf("MEMSCycle = %v, want %v", p.MEMSCycle, want)
+	}
+	if p.MEMSCycle < p.MinMEMSCycle {
+		t.Errorf("MEMSCycle %v below the bandwidth floor %v", p.MEMSCycle, p.MinMEMSCycle)
+	}
+	if p.M != orig.M || p.MinMEMSCycle != orig.MinMEMSCycle {
+		t.Errorf("cap changed M or C: %+v", p)
+	}
+
+	// A cap so tight that T·M/N lands under C clamps to the floor.
+	p = fresh()
+	p.CapDiskCycle(time.Millisecond, cfg.Load)
+	if p.MEMSCycle != p.MinMEMSCycle {
+		t.Errorf("MEMSCycle = %v, want clamped to C = %v", p.MEMSCycle, p.MinMEMSCycle)
+	}
+}

@@ -1,30 +1,32 @@
 package server
 
 import (
+	"fmt"
 	"time"
 
 	"memstream/internal/bank"
 	"memstream/internal/device"
 	"memstream/internal/disk"
-	"memstream/internal/dram"
 	"memstream/internal/model"
 	"memstream/internal/sim"
 	"memstream/internal/units"
-	"memstream/internal/workload"
 )
 
-// runBuffered simulates the disk→MEMS-bank→DRAM pipeline of §3.1: the disk
-// runs its own IO cycle writing large staged IOs into per-stream rings on
-// the bank; each MEMS device interleaves those writes with the small
-// DRAM-side reads of its streams every MEMS cycle (Figures 4 and 5).
+// runBuffered simulates the disk→MEMS-bank→DRAM pipeline of §3.1 on the
+// shared rig: the disk runs its own IO cycle writing large staged IOs
+// into per-stream rings on the bank; each MEMS device interleaves those
+// writes with the small DRAM-side reads of its streams every MEMS cycle
+// (Figures 4 and 5). Two cycle stages drive it: the disk stage stages
+// reads (and ships recorder slots), the MEMS stage drains staged slots
+// toward DRAM and assembles recorder data.
 func runBuffered(cfg Config) (Result, error) {
-	dsk, err := disk.New(cfg.Disk)
+	r, err := newRig(cfg)
 	if err != nil {
 		return Result{}, err
 	}
 	bcfg := model.BufferConfig{
 		Load:          model.StreamLoad{N: cfg.N, BitRate: cfg.BitRate},
-		Disk:          diskSpec(dsk),
+		Disk:          diskSpec(r.dsk),
 		MEMS:          memsSpec(cfg.MEMS),
 		K:             cfg.K,
 		SizePerDevice: cfg.MEMS.Capacity,
@@ -37,18 +39,8 @@ func runBuffered(cfg Config) (Result, error) {
 	// capacity bound (hundreds of seconds); simulating a handful of such
 	// cycles is fine analytically but we bound it to keep per-request IO
 	// sizes inside one staging ring.
+	plan.CapDiskCycle(20*time.Second, bcfg.Load)
 	tDisk := plan.DiskCycle
-	if max := 20 * time.Second; tDisk > max {
-		tDisk = max
-		// Recompute the dependent quantities at the reduced cycle: the
-		// disk-side IO shrinks proportionally; the DRAM-side sizing keeps
-		// the model's M/N ratio.
-		plan.DiskIOSize = units.Bytes(float64(cfg.BitRate) * tDisk.Seconds())
-		plan.MEMSCycle = time.Duration(float64(tDisk) * float64(plan.M) / float64(cfg.N))
-		if plan.MEMSCycle < plan.MinMEMSCycle {
-			plan.MEMSCycle = plan.MinMEMSCycle
-		}
-	}
 
 	devs, err := bank.New(cfg.K, cfg.MEMS)
 	if err != nil {
@@ -58,19 +50,7 @@ func runBuffered(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	cat, err := newCatalog(cfg, dsk.Geometry().BlockSize)
-	if err != nil {
-		return Result{}, err
-	}
-
-	eng := &sim.Engine{}
-	pool := dram.NewPool(0)
-	rng := sim.NewRNG(cfg.Seed)
-	gen := workload.NewGenerator(cat, rng.Uint64())
-	set, err := gen.Draw(cfg.N)
-	if err != nil {
-		return Result{}, err
-	}
+	r.trackMEMS(devs...)
 
 	tMems := plan.MEMSCycle
 	// Playback lags the pipeline by four MEMS cycles: intra-cycle
@@ -79,21 +59,16 @@ func runBuffered(cfg Config) (Result, error) {
 	// so four cycles of standing headroom keep every fill ahead of its
 	// deadline.
 	playStart := tDisk + 4*tMems
-	players := make([]*player, cfg.N)
-	margins := sim.NewReservoir(8192, cfg.Seed^0xabcdef)
-	diskBlocks := dsk.Geometry().Blocks
+	diskBlocks := r.dsk.Geometry().Blocks
 	isWriter := func(i int) bool { return i < cfg.Writers }
-	for i, st := range set.Streams {
-		buf, err := pool.Open(i, cfg.BitRate)
-		if err != nil {
-			return Result{}, err
-		}
-		pos := (st.Title.StartLB + int64(st.Offset/dsk.Geometry().BlockSize)) % diskBlocks
+	for i, st := range r.set.Streams {
 		start := playStart
 		if isWriter(i) {
 			start = sim.MaxTime / 2 // recorders never drain (no playback)
 		}
-		players[i] = &player{buf: buf, pos: pos, startAt: start, lastDrain: start, margins: margins}
+		if _, err := r.addPlayer(i, r.diskPos(st), start); err != nil {
+			return Result{}, err
+		}
 		if _, err := bb.Attach(i); err != nil {
 			return Result{}, err
 		}
@@ -101,22 +76,8 @@ func runBuffered(cfg Config) (Result, error) {
 	// VBR playback for the readers (footnote 1): per-MEMS-cycle rate
 	// profiles with the cushion prefetched before playback, exactly as in
 	// the direct architecture.
-	if cfg.VBRCoV > 0 {
-		vrng := rng.Split()
-		intervals := int(4*tDisk/tMems) + 2
-		for i, p := range players {
-			if isWriter(i) {
-				continue
-			}
-			trace := workload.VBRTrace(vrng, cfg.BitRate, cfg.VBRCoV, intervals)
-			normalizeTrace(trace, cfg.BitRate)
-			p.consume = traceIntegrator(trace, tMems)
-			if !cfg.NoCushion {
-				if err := p.buf.Fill(workload.CushionFor(trace, tMems)); err != nil {
-					return Result{}, err
-				}
-			}
-		}
+	if err := r.shapeVBR(tMems, int(4*tDisk/tMems)+2, isWriter); err != nil {
+		return Result{}, err
 	}
 
 	// Recorder state: bytes staged to MEMS so far and the peak DRAM a
@@ -130,34 +91,30 @@ func runBuffered(cfg Config) (Result, error) {
 		}
 	}
 
-	duration := cfg.Duration
-	if duration <= 0 {
-		duration = 4 * tDisk
-	}
-	diskCycles := int64(duration / tDisk)
-	if diskCycles < 3 {
-		diskCycles = 3
-	}
-	end := time.Duration(diskCycles) * tDisk
+	diskCycles, end, _ := r.horizon(tDisk, 4, 3)
 
-	diskIOBlocks := blocksFor(plan.DiskIOSize, dsk.Geometry().BlockSize)
+	diskIOBlocks := blocksFor(plan.DiskIOSize, r.dsk.Geometry().BlockSize)
 	memsChains := make([]*chain, cfg.K)
 	for i := range memsChains {
-		memsChains[i] = &chain{eng: eng}
+		memsChains[i] = r.newChain()
 	}
-	diskChain := &chain{eng: eng}
+	diskChain := r.newChain()
+	r.observe("disk", r.dsk, diskChain)
+	for i, d := range devs {
+		r.observe(fmt.Sprintf("mems%d", i), d, memsChains[i])
+	}
 
 	// Disk side. Each disk cycle: readers get one large disk read that is
 	// then staged on their MEMS device; writers get the reverse — the bank
 	// reads back the slot their recorder assembled last cycle, and one
 	// large disk write ships it to the platter.
 	scheduleDiskCycle := func(c int64) {
-		sched := disk.NewScheduler(dsk, disk.CLook)
-		for i := range players {
+		sched := disk.NewScheduler(r.dsk, disk.CLook)
+		for i := range r.players {
 			if isWriter(i) && c == 0 {
 				continue // nothing assembled yet
 			}
-			p := players[i]
+			p := r.players[i]
 			blk := p.pos
 			if blk+diskIOBlocks > diskBlocks {
 				blk = 0
@@ -171,7 +128,7 @@ func runBuffered(cfg Config) (Result, error) {
 			}
 			sched.Enqueue(device.Request{
 				Op: op, Block: blk, Blocks: diskIOBlocks,
-				Stream: i, Issued: eng.Now(),
+				Stream: i, Issued: r.eng.Now(),
 			})
 			p.pos = (blk + diskIOBlocks) % diskBlocks
 		}
@@ -187,7 +144,7 @@ func runBuffered(cfg Config) (Result, error) {
 					return comp.Finish // data already left the bank
 				}
 				// Stage the read bytes on the stream's MEMS device.
-				wreq, dev, err := bb.StageRequest(stream, c, units.Bytes(comp.Blocks)*dsk.Geometry().BlockSize)
+				wreq, dev, err := bb.StageRequest(stream, c, units.Bytes(comp.Blocks)*r.dsk.Geometry().BlockSize)
 				if err != nil {
 					return comp.Finish
 				}
@@ -201,10 +158,6 @@ func runBuffered(cfg Config) (Result, error) {
 				return comp.Finish
 			})
 		}
-	}
-	for c := int64(0); c < diskCycles; c++ {
-		c := c
-		eng.Schedule(time.Duration(c)*tDisk, func() { scheduleDiskCycle(c) })
 	}
 
 	// MEMS side: every MEMS cycle each stream receives one DRAM transfer
@@ -224,7 +177,7 @@ func runBuffered(cfg Config) (Result, error) {
 	// device per MEMS cycle soak up whatever bandwidth the real-time
 	// schedule leaves idle.
 	var bestEffortBytes units.Bytes
-	beRNG := rng.Split()
+	beRNG := r.rng.Split()
 	const bePerCycle = 4
 	beBlocks := blocksFor(256*units.KB, devs[0].Geometry().BlockSize)
 	scheduleBestEffort := func() {
@@ -248,12 +201,12 @@ func runBuffered(cfg Config) (Result, error) {
 			}
 		}
 	}
-	scheduleMEMSCycle := func(m int64) {
-		now := eng.Now()
+	scheduleMEMSCycle := func(int64) {
+		now := r.eng.Now()
 		diskCyc := int64(now / tDisk)
-		for i := range players {
+		for i := range r.players {
 			i := i
-			p := players[i]
+			p := r.players[i]
 			if !isWriter(i) && diskCyc == 0 {
 				continue // nothing staged for readers yet
 			}
@@ -334,50 +287,20 @@ func runBuffered(cfg Config) (Result, error) {
 			})
 		}
 	}
-	for m := int64(1); m <= memsCycles; m++ {
-		m := m
-		eng.Schedule(time.Duration(m)*tMems, func() {
-			scheduleMEMSCycle(m)
-			if cfg.BestEffort {
-				scheduleBestEffort()
-			}
-		})
-	}
-	eng.Schedule(end, func() {
-		for _, p := range players {
-			p.drainTo(end)
+
+	r.cycleLoop("disk", tDisk, 0, diskCycles, scheduleDiskCycle)
+	r.cycleLoop("mems", tMems, 1, memsCycles, func(m int64) {
+		scheduleMEMSCycle(m)
+		if cfg.BestEffort {
+			scheduleBestEffort()
 		}
 	})
-	eng.Run()
+	r.finish(end)
 
-	res := Result{
-		Mode:            Buffered,
-		Events:          eng.Executed(),
-		WriterPeakDRAM:  writerPeak,
-		BestEffortBytes: bestEffortBytes,
-		Streams:         cfg.N,
-		SimulatedTime:   end,
-		Cycles:          diskCycles,
-		PlannedDRAM:     plan.TotalDRAM,
-		DRAMHighWater:   pool.HighWater(),
-		DiskBusy:        dsk.BusyTime(),
-		DiskUtil:        float64(dsk.BusyTime()) / float64(end),
-		DiskIOs:         dsk.Served(),
-		FromDisk:        cfg.N,
-	}
-	var memsBusy time.Duration
-	for _, d := range devs {
-		memsBusy += d.BusyTime()
-		res.MEMSIOs += d.Served()
-	}
-	res.MEMSBusy = memsBusy
-	res.MEMSUtil = float64(memsBusy) / (float64(end) * float64(cfg.K))
-	for _, p := range players {
-		res.Underflows += p.underflow
-		res.UnderflowBytes += p.deficit
-	}
-	if m, ok := margins.Quantile(0.05); ok {
-		res.MarginP5 = units.Seconds(m)
-	}
+	res := r.result(Buffered, end, diskCycles)
+	res.PlannedDRAM = plan.TotalDRAM
+	res.WriterPeakDRAM = writerPeak
+	res.BestEffortBytes = bestEffortBytes
+	res.FromDisk = cfg.N
 	return res, nil
 }

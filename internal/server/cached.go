@@ -1,24 +1,23 @@
 package server
 
 import (
+	"fmt"
 	"time"
 
 	"memstream/internal/bank"
 	"memstream/internal/cache"
 	"memstream/internal/device"
 	"memstream/internal/disk"
-	"memstream/internal/dram"
 	"memstream/internal/model"
-	"memstream/internal/sim"
 	"memstream/internal/units"
-	"memstream/internal/workload"
 )
 
-// runCached simulates the MEMS-cache architecture of §3.2: popular titles
-// are pinned on the bank (striped or replicated); streams whose title is
-// pinned run on the cache's own IO cycle, the rest on the disk's.
+// runCached simulates the MEMS-cache architecture of §3.2 on the shared
+// rig: popular titles are pinned on the bank (striped or replicated);
+// streams whose title is pinned run on the cache's own IO cycle, the rest
+// on the disk's. Two independent cycle stages drive the two sides.
 func runCached(cfg Config) (Result, error) {
-	dsk, err := disk.New(cfg.Disk)
+	r, err := newRig(cfg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -35,27 +34,15 @@ func runCached(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	cat, err := newCatalog(cfg, dsk.Geometry().BlockSize)
-	if err != nil {
-		return Result{}, err
-	}
-	placement, err := cache.Plan(cat, cb.Capacity())
-	if err != nil {
-		return Result{}, err
-	}
-
-	eng := &sim.Engine{}
-	pool := dram.NewPool(0)
-	rng := sim.NewRNG(cfg.Seed)
-	gen := workload.NewGenerator(cat, rng.Uint64())
-	set, err := gen.Draw(cfg.N)
+	r.trackMEMS(devs...)
+	placement, err := cache.Plan(r.cat, cb.Capacity())
 	if err != nil {
 		return Result{}, err
 	}
 
 	// Split the population by placement.
 	var cachedIDs, diskIDs []int
-	for i, st := range set.Streams {
+	for i, st := range r.set.Streams {
 		if placement.Contains(st.Title.ID) {
 			cachedIDs = append(cachedIDs, i)
 		} else {
@@ -77,67 +64,62 @@ func runCached(cfg Config) (Result, error) {
 	}
 	if len(diskIDs) > 0 {
 		diskPlan, err = model.DiskDirect(
-			model.StreamLoad{N: len(diskIDs), BitRate: cfg.BitRate}, diskSpec(dsk))
+			model.StreamLoad{N: len(diskIDs), BitRate: cfg.BitRate}, diskSpec(r.dsk))
 		if err != nil {
 			return Result{}, err
 		}
 	}
 
-	players := make([]*player, cfg.N)
-	margins := sim.NewReservoir(8192, cfg.Seed^0xabcdef)
-	blockSize := dsk.Geometry().BlockSize
-	diskBlocks := dsk.Geometry().Blocks
+	blockSize := r.dsk.Geometry().BlockSize
+	diskBlocks := r.dsk.Geometry().Blocks
 	imageBlocks := blocksFor(placement.Used, blockSize)
-	for i, st := range set.Streams {
-		buf, err := pool.Open(i, cfg.BitRate)
-		if err != nil {
+	for i, st := range r.set.Streams {
+		pos := (st.Title.StartLB + int64(st.Offset/blockSize)) % diskBlocks
+		startAt := diskPlan.Cycle
+		if placement.Contains(st.Title.ID) {
+			pos = int64(st.Offset/blockSize) % max(imageBlocks, 1)
+			startAt = cachePlan.Cycle
+		}
+		if _, err := r.addPlayer(i, pos, startAt); err != nil {
 			return Result{}, err
 		}
-		p := &player{buf: buf, margins: margins}
 		if placement.Contains(st.Title.ID) {
-			p.pos = int64(st.Offset/blockSize) % maxI64(imageBlocks, 1)
-			p.startAt = cachePlan.Cycle
 			if err := cb.Assign(i); err != nil {
 				return Result{}, err
 			}
-		} else {
-			p.pos = (st.Title.StartLB + int64(st.Offset/blockSize)) % diskBlocks
-			p.startAt = diskPlan.Cycle
 		}
-		p.lastDrain = p.startAt
-		players[i] = p
 	}
 
 	// Simulation horizon: enough cycles of the slower side.
-	duration := cfg.Duration
-	if duration <= 0 {
-		longest := cachePlan.Cycle
-		if diskPlan.Cycle > longest {
-			longest = diskPlan.Cycle
-		}
-		duration = 10 * longest
+	longest := cachePlan.Cycle
+	if diskPlan.Cycle > longest {
+		longest = diskPlan.Cycle
 	}
-	end := duration
+	end := r.span(10 * longest)
+	// Cycles reports the busier side's scheduling rounds.
+	var cycles int64
 
 	// Disk side, as in Direct mode.
 	if len(diskIDs) > 0 {
-		diskChain := &chain{eng: eng}
+		diskChain := r.newChain()
+		r.observe("disk", r.dsk, diskChain)
 		ioBlocks := blocksFor(diskPlan.IOSize, blockSize)
 		diskCycles := int64(end / diskPlan.Cycle)
 		if diskCycles < 2 {
 			diskCycles = 2
 		}
-		scheduleCycle := func(c int64) {
-			sched := disk.NewScheduler(dsk, disk.CLook)
+		cycles = max(cycles, diskCycles)
+		scheduleCycle := func(int64) {
+			sched := disk.NewScheduler(r.dsk, disk.CLook)
 			for _, i := range diskIDs {
-				p := players[i]
+				p := r.players[i]
 				blk := p.pos
 				if blk+ioBlocks > diskBlocks {
 					blk = 0
 				}
 				sched.Enqueue(device.Request{
 					Op: device.Read, Block: blk, Blocks: ioBlocks,
-					Stream: i, Issued: eng.Now(),
+					Stream: i, Issued: r.eng.Now(),
 				})
 				p.pos = (blk + ioBlocks) % diskBlocks
 			}
@@ -148,7 +130,7 @@ func runCached(cfg Config) (Result, error) {
 					if err != nil || !ok {
 						return start
 					}
-					p := players[comp.Stream]
+					p := r.players[comp.Stream]
 					p.drainTo(comp.Finish)
 					if err := p.buf.Fill(units.Bytes(comp.Blocks) * blockSize); err != nil {
 						panic(err)
@@ -157,10 +139,7 @@ func runCached(cfg Config) (Result, error) {
 				})
 			}
 		}
-		for c := int64(0); c < diskCycles; c++ {
-			c := c
-			eng.Schedule(time.Duration(c)*diskPlan.Cycle, func() { scheduleCycle(c) })
-		}
+		r.cycleLoop("disk", diskPlan.Cycle, 0, diskCycles, scheduleCycle)
 	}
 
 	// Cache side. The striped bank moves in lock-step, so one chain
@@ -168,32 +147,40 @@ func runCached(cfg Config) (Result, error) {
 	// independently, so each gets its own chain (that parallelism is
 	// exactly Corollary 4's latency advantage).
 	if len(cachedIDs) > 0 {
-		chains := []*chain{{eng: eng}}
+		chains := []*chain{r.newChain()}
 		chainOf := func(int) *chain { return chains[0] }
 		if rb, ok := cb.(*bank.ReplicatedBank); ok {
 			chains = make([]*chain, cfg.K)
 			for i := range chains {
-				chains[i] = &chain{eng: eng}
+				chains[i] = r.newChain()
 			}
 			chainOf = func(stream int) *chain {
 				dev, _ := rb.DeviceOf(stream)
 				return chains[dev]
 			}
 		}
+		for i, d := range devs {
+			ch := chains[0]
+			if len(chains) == cfg.K {
+				ch = chains[i]
+			}
+			r.observe(fmt.Sprintf("cache%d", i), d, ch)
+		}
 		ioBlocks := blocksFor(cachePlan.IOSize, devs[0].Geometry().BlockSize)
 		cacheCycles := int64(end / cachePlan.Cycle)
 		if cacheCycles < 2 {
 			cacheCycles = 2
 		}
-		scheduleCacheCycle := func(c int64) {
+		cycles = max(cycles, cacheCycles)
+		scheduleCacheCycle := func(int64) {
 			for _, i := range cachedIDs {
 				i := i
-				p := players[i]
+				p := r.players[i]
 				blk := p.pos
 				if blk+ioBlocks > imageBlocks {
 					blk = 0
 				}
-				p.pos = (blk + ioBlocks) % maxI64(imageBlocks, 1)
+				p.pos = (blk + ioBlocks) % max(imageBlocks, 1)
 				chainOf(i).submit(func(start time.Duration) time.Duration {
 					comp, err := cb.Read(start, i, blk, ioBlocks)
 					if err != nil {
@@ -203,56 +190,19 @@ func runCached(cfg Config) (Result, error) {
 					if err := p.buf.Fill(cachePlan.IOSize); err != nil {
 						panic(err)
 					}
+					r.noteCacheFill(cachePlan.IOSize)
 					return comp.Finish
 				})
 			}
 		}
-		for c := int64(0); c < cacheCycles; c++ {
-			c := c
-			eng.Schedule(time.Duration(c)*cachePlan.Cycle, func() { scheduleCacheCycle(c) })
-		}
+		r.cycleLoop("cache", cachePlan.Cycle, 0, cacheCycles, scheduleCacheCycle)
 	}
 
-	eng.Schedule(end, func() {
-		for _, p := range players {
-			p.drainTo(end)
-		}
-	})
-	eng.Run()
+	r.finish(end)
 
-	res := Result{
-		Mode:          Cached,
-		Streams:       cfg.N,
-		SimulatedTime: end,
-		Events:        eng.Executed(),
-		PlannedDRAM:   cachePlan.TotalDRAM + diskPlan.TotalDRAM,
-		DRAMHighWater: pool.HighWater(),
-		DiskBusy:      dsk.BusyTime(),
-		DiskUtil:      float64(dsk.BusyTime()) / float64(end),
-		DiskIOs:       dsk.Served(),
-		FromCache:     len(cachedIDs),
-		FromDisk:      len(diskIDs),
-	}
-	var memsBusy time.Duration
-	for _, d := range devs {
-		memsBusy += d.BusyTime()
-		res.MEMSIOs += d.Served()
-	}
-	res.MEMSBusy = memsBusy
-	res.MEMSUtil = float64(memsBusy) / (float64(end) * float64(cfg.K))
-	for _, p := range players {
-		res.Underflows += p.underflow
-		res.UnderflowBytes += p.deficit
-	}
-	if m, ok := margins.Quantile(0.05); ok {
-		res.MarginP5 = units.Seconds(m)
-	}
+	res := r.result(Cached, end, cycles)
+	res.PlannedDRAM = cachePlan.TotalDRAM + diskPlan.TotalDRAM
+	res.FromCache = len(cachedIDs)
+	res.FromDisk = len(diskIDs)
 	return res, nil
-}
-
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

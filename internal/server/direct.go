@@ -1,0 +1,101 @@
+package server
+
+import (
+	"time"
+
+	"memstream/internal/device"
+	"memstream/internal/disk"
+	"memstream/internal/model"
+	"memstream/internal/units"
+)
+
+// runDirect simulates the baseline disk→DRAM server on the shared rig:
+// Theorem 1 sizes the IO cycle, and one per-cycle stage enqueues every
+// stream's IO into a C-LOOK batch on the disk chain.
+func runDirect(cfg Config) (Result, error) {
+	r, err := newRig(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	plan, err := model.DiskDirect(model.StreamLoad{N: cfg.N, BitRate: cfg.BitRate}, diskSpec(r.dsk))
+	if err != nil {
+		return Result{}, err
+	}
+
+	for i, st := range r.set.Streams {
+		if _, err := r.addPlayer(i, r.diskPos(st), plan.Cycle); err != nil {
+			return Result{}, err
+		}
+	}
+
+	cycles, end, raw := r.horizon(plan.Cycle, 10, 2)
+	ioBlocks := blocksFor(plan.IOSize, r.dsk.Geometry().BlockSize)
+
+	// Interactive playback: alternate exponentially distributed play and
+	// pause phases per stream. Pauses enter through the consumption
+	// integral (rate zero while paused); the per-cycle scheduler below
+	// additionally skips IOs for streams whose buffers are already full.
+	r.shapeInteractive(plan.Cycle, raw)
+
+	// VBR playback (footnote 1): each stream consumes along a per-cycle
+	// rate profile with the configured coefficient of variation; the
+	// cushion CushionFor computes is prefetched before playback begins.
+	if err := r.shapeVBR(plan.Cycle, int(cycles)+2, nil); err != nil {
+		return Result{}, err
+	}
+
+	diskBlocks := r.dsk.Geometry().Blocks
+	diskChain := r.newChain()
+	r.observe("disk", r.dsk, diskChain)
+	scheduleCycle := func(int64) {
+		sched := disk.NewScheduler(r.dsk, disk.CLook)
+		for i := range r.players {
+			p := r.players[i]
+			if cfg.PausedFraction > 0 {
+				// Interactive service: skip IOs for streams already
+				// holding two cycles of data (paused, or just resumed) —
+				// two cycles, because a resumed stream's next fill can be
+				// almost a full cycle away. The reclaimed slots are the
+				// bandwidth interactive servers redistribute.
+				p.drainTo(r.eng.Now())
+				if p.buf.Level() >= 2*plan.IOSize {
+					continue
+				}
+			}
+			blk := p.pos
+			if blk+ioBlocks > diskBlocks {
+				blk = 0
+			}
+			sched.Enqueue(device.Request{
+				Op: device.Read, Block: blk, Blocks: ioBlocks,
+				Stream: i, Issued: r.eng.Now(),
+			})
+			p.pos = (blk + ioBlocks) % diskBlocks
+		}
+		// One chain slot per queued request; each slot dispatches the
+		// scheduler's best pending request at its start time.
+		for pending := sched.Len(); pending > 0; pending-- {
+			s := sched
+			diskChain.submit(func(start time.Duration) time.Duration {
+				comp, ok, err := s.Dispatch(start)
+				if err != nil || !ok {
+					return start
+				}
+				p := r.players[comp.Stream]
+				p.drainTo(comp.Finish)
+				if err := p.buf.Fill(units.Bytes(comp.Blocks) * r.dsk.Geometry().BlockSize); err != nil {
+					// Pool is unlimited; Fill cannot fail.
+					panic(err)
+				}
+				return comp.Finish
+			})
+		}
+	}
+	r.cycleLoop("disk", plan.Cycle, 0, cycles, scheduleCycle)
+	r.finish(end)
+
+	res := r.result(Direct, end, cycles)
+	res.PlannedDRAM = plan.TotalDRAM
+	res.FromDisk = cfg.N
+	return res, nil
+}

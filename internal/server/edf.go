@@ -4,13 +4,9 @@ import (
 	"time"
 
 	"memstream/internal/device"
-	"memstream/internal/disk"
-	"memstream/internal/dram"
 	"memstream/internal/model"
 	"memstream/internal/schedule"
-	"memstream/internal/sim"
 	"memstream/internal/units"
-	"memstream/internal/workload"
 )
 
 // runEDF simulates the direct architecture under earliest-deadline-first
@@ -19,58 +15,38 @@ import (
 // stream keeps one request outstanding, deadlined at its buffer-empty
 // time; the disk always services the most urgent request. EDF meets
 // deadlines when feasible but forfeits the elevator's seek amortization,
-// which the comparison test and bench quantify.
+// which the comparison test and bench quantify. There is no cycle
+// structure, so an attached probe records no samples.
 func runEDF(cfg Config) (Result, error) {
-	dsk, err := disk.New(cfg.Disk)
+	r, err := newRig(cfg)
 	if err != nil {
 		return Result{}, err
 	}
 	// Size IOs with the same Theorem 1 plan the time-cycle server uses so
 	// the comparison isolates scheduling order.
-	plan, err := model.DiskDirect(model.StreamLoad{N: cfg.N, BitRate: cfg.BitRate}, diskSpec(dsk))
-	if err != nil {
-		return Result{}, err
-	}
-	cat, err := newCatalog(cfg, dsk.Geometry().BlockSize)
+	plan, err := model.DiskDirect(model.StreamLoad{N: cfg.N, BitRate: cfg.BitRate}, diskSpec(r.dsk))
 	if err != nil {
 		return Result{}, err
 	}
 
-	eng := &sim.Engine{}
-	pool := dram.NewPool(0)
-	rng := sim.NewRNG(cfg.Seed)
-	gen := workload.NewGenerator(cat, rng.Uint64())
-	set, err := gen.Draw(cfg.N)
-	if err != nil {
-		return Result{}, err
-	}
-
-	players := make([]*player, cfg.N)
-	margins := sim.NewReservoir(8192, cfg.Seed^0xabcdef)
-	diskBlocks := dsk.Geometry().Blocks
-	for i, st := range set.Streams {
-		buf, err := pool.Open(i, cfg.BitRate)
-		if err != nil {
+	for i, st := range r.set.Streams {
+		if _, err := r.addPlayer(i, r.diskPos(st), plan.Cycle); err != nil {
 			return Result{}, err
 		}
-		pos := (st.Title.StartLB + int64(st.Offset/dsk.Geometry().BlockSize)) % diskBlocks
-		players[i] = &player{buf: buf, pos: pos, startAt: plan.Cycle, lastDrain: plan.Cycle, margins: margins}
 	}
+	r.observe("disk", r.dsk, nil)
 
-	duration := cfg.Duration
-	if duration <= 0 {
-		duration = 10 * plan.Cycle
-	}
-	end := duration
-	ioBlocks := blocksFor(plan.IOSize, dsk.Geometry().BlockSize)
-	ioBytes := units.Bytes(ioBlocks) * dsk.Geometry().BlockSize
+	end := r.span(10 * plan.Cycle)
+	diskBlocks := r.dsk.Geometry().Blocks
+	ioBlocks := blocksFor(plan.IOSize, r.dsk.Geometry().BlockSize)
+	ioBytes := units.Bytes(ioBlocks) * r.dsk.Geometry().BlockSize
 
 	var queue schedule.EDF
 	busy := false
 
 	// deadline is the instant stream i's buffer runs dry.
 	deadline := func(i int, now time.Duration) time.Duration {
-		p := players[i]
+		p := r.players[i]
 		level := p.buf.Level()
 		drainStart := p.startAt
 		if p.lastDrain > drainStart {
@@ -91,7 +67,7 @@ func runEDF(cfg Config) (Result, error) {
 
 	var serviceNext func()
 	issue := func(i int) {
-		now := eng.Now()
+		now := r.eng.Now()
 		queue.Push(&schedule.Deadline{Stream: i, IOSize: ioBytes, Deadline: deadline(i, now)})
 		if !busy {
 			serviceNext()
@@ -105,22 +81,22 @@ func runEDF(cfg Config) (Result, error) {
 		}
 		busy = true
 		i := d.Stream
-		p := players[i]
+		p := r.players[i]
 		blk := p.pos
 		if blk+ioBlocks > diskBlocks {
 			blk = 0
 		}
 		p.pos = (blk + ioBlocks) % diskBlocks
-		comp, err := dsk.Service(eng.Now(), device.Request{
-			Op: device.Read, Block: blk, Blocks: ioBlocks, Stream: i, Issued: eng.Now(),
+		comp, err := r.dsk.Service(r.eng.Now(), device.Request{
+			Op: device.Read, Block: blk, Blocks: ioBlocks, Stream: i, Issued: r.eng.Now(),
 		})
 		if err != nil {
 			busy = false
 			return
 		}
-		eng.Schedule(comp.Finish-eng.Now(), func() {
+		r.eng.Schedule(comp.Finish-r.eng.Now(), func() {
 			p.drainTo(comp.Finish)
-			if err := p.buf.Fill(units.Bytes(comp.Blocks) * dsk.Geometry().BlockSize); err != nil {
+			if err := p.buf.Fill(units.Bytes(comp.Blocks) * r.dsk.Geometry().BlockSize); err != nil {
 				panic(err)
 			}
 			// Keep one request in flight per stream until the horizon.
@@ -131,35 +107,19 @@ func runEDF(cfg Config) (Result, error) {
 		})
 	}
 
-	for i := range players {
+	for i := range r.players {
 		issue(i)
 	}
-	eng.Schedule(end, func() {
-		eng.Stop()
+	r.eng.Schedule(end, func() {
+		r.eng.Stop()
 	})
-	eng.RunUntil(end)
-	for _, p := range players {
+	r.eng.RunUntil(end)
+	for _, p := range r.players {
 		p.drainTo(end)
 	}
 
-	res := Result{
-		Mode:          Direct,
-		Streams:       cfg.N,
-		SimulatedTime: end,
-		Events:        eng.Executed(),
-		PlannedDRAM:   plan.TotalDRAM,
-		DRAMHighWater: pool.HighWater(),
-		DiskBusy:      dsk.BusyTime(),
-		DiskUtil:      float64(dsk.BusyTime()) / float64(end),
-		DiskIOs:       dsk.Served(),
-		FromDisk:      cfg.N,
-	}
-	for _, p := range players {
-		res.Underflows += p.underflow
-		res.UnderflowBytes += p.deficit
-	}
-	if m, ok := margins.Quantile(0.05); ok {
-		res.MarginP5 = units.Seconds(m)
-	}
+	res := r.result(Direct, end, int64(end/plan.Cycle))
+	res.PlannedDRAM = plan.TotalDRAM
+	res.FromDisk = cfg.N
 	return res, nil
 }

@@ -8,24 +8,22 @@ import (
 	"memstream/internal/cache"
 	"memstream/internal/device"
 	"memstream/internal/disk"
-	"memstream/internal/dram"
 	"memstream/internal/model"
-	"memstream/internal/sim"
 	"memstream/internal/units"
-	"memstream/internal/workload"
 )
 
-// runHybrid simulates the paper's first future-work configuration (§7):
-// the MEMS bank is split — CacheDevices of the K devices pin popular
-// titles (striped), the remainder buffer the disk IOs of the cache
-// misses. Hot streams ride the cache's IO cycle; cold streams flow
-// through the disk→buffer→DRAM pipeline.
+// runHybrid simulates the paper's first future-work configuration (§7) on
+// the shared rig: the MEMS bank is split — CacheDevices of the K devices
+// pin popular titles (striped), the remainder buffer the disk IOs of the
+// cache misses. Hot streams ride the cache's IO cycle; cold streams flow
+// through the disk→buffer→DRAM pipeline. Three cycle stages drive it:
+// disk staging, MEMS draining, and the cache's lock-step reads.
 func runHybrid(cfg Config) (Result, error) {
 	if cfg.CacheDevices <= 0 || cfg.CacheDevices >= cfg.K {
 		return Result{}, fmt.Errorf("server: hybrid needs 0 < CacheDevices=%d < K=%d",
 			cfg.CacheDevices, cfg.K)
 	}
-	dsk, err := disk.New(cfg.Disk)
+	r, err := newRig(cfg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -41,26 +39,15 @@ func runHybrid(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	cat, err := newCatalog(cfg, dsk.Geometry().BlockSize)
-	if err != nil {
-		return Result{}, err
-	}
-	placement, err := cache.Plan(cat, cb.Capacity())
-	if err != nil {
-		return Result{}, err
-	}
-
-	eng := &sim.Engine{}
-	pool := dram.NewPool(0)
-	rng := sim.NewRNG(cfg.Seed)
-	gen := workload.NewGenerator(cat, rng.Uint64())
-	set, err := gen.Draw(cfg.N)
+	r.trackMEMS(cacheDevs...)
+	r.trackMEMS(bufDevs...)
+	placement, err := cache.Plan(r.cat, cb.Capacity())
 	if err != nil {
 		return Result{}, err
 	}
 
 	var cachedIDs, missIDs []int
-	for i, st := range set.Streams {
+	for i, st := range r.set.Streams {
 		if placement.Contains(st.Title.ID) {
 			cachedIDs = append(cachedIDs, i)
 		} else {
@@ -80,10 +67,12 @@ func runHybrid(cfg Config) (Result, error) {
 			return Result{}, err
 		}
 	}
-	// Miss-side plan (Theorem 2 on the buffer sub-bank).
+	// Miss-side plan (Theorem 2 on the buffer sub-bank), disk cycle
+	// capped for simulation exactly as in the buffered pipeline.
+	missLoad := model.StreamLoad{N: len(missIDs), BitRate: cfg.BitRate}
 	bufPlan, err := model.BufferPlan(model.BufferConfig{
-		Load:          model.StreamLoad{N: len(missIDs), BitRate: cfg.BitRate},
-		Disk:          diskSpec(dsk),
+		Load:          missLoad,
+		Disk:          diskSpec(r.dsk),
 		MEMS:          memsSpec(cfg.MEMS),
 		K:             cfg.K - cfg.CacheDevices,
 		SizePerDevice: cfg.MEMS.Capacity,
@@ -91,15 +80,8 @@ func runHybrid(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	bufPlan.CapDiskCycle(20*time.Second, missLoad)
 	tDisk := bufPlan.DiskCycle
-	if max := 20 * time.Second; tDisk > max {
-		tDisk = max
-		bufPlan.DiskIOSize = units.Bytes(float64(cfg.BitRate) * tDisk.Seconds())
-		bufPlan.MEMSCycle = time.Duration(float64(tDisk) * float64(bufPlan.M) / float64(len(missIDs)))
-		if bufPlan.MEMSCycle < bufPlan.MinMEMSCycle {
-			bufPlan.MEMSCycle = bufPlan.MinMEMSCycle
-		}
-	}
 	tMems := bufPlan.MEMSCycle
 	bb, err := bank.NewBufferBank(bufDevs, bufPlan.DiskIOSize)
 	if err != nil {
@@ -107,63 +89,55 @@ func runHybrid(cfg Config) (Result, error) {
 	}
 
 	// Players.
-	blockSize := dsk.Geometry().BlockSize
-	diskBlocks := dsk.Geometry().Blocks
+	blockSize := r.dsk.Geometry().BlockSize
+	diskBlocks := r.dsk.Geometry().Blocks
 	imageBlocks := blocksFor(placement.Used, blockSize)
-	players := make([]*player, cfg.N)
-	margins := sim.NewReservoir(8192, cfg.Seed^0xabcdef)
 	missPlayStart := tDisk + 4*tMems
-	for i, st := range set.Streams {
-		buf, err := pool.Open(i, cfg.BitRate)
-		if err != nil {
+	for i, st := range r.set.Streams {
+		pos := (st.Title.StartLB + int64(st.Offset/blockSize)) % diskBlocks
+		startAt := missPlayStart
+		if placement.Contains(st.Title.ID) {
+			pos = int64(st.Offset/blockSize) % max(imageBlocks, 1)
+			startAt = cachePlan.Cycle
+		}
+		if _, err := r.addPlayer(i, pos, startAt); err != nil {
 			return Result{}, err
 		}
-		p := &player{buf: buf, margins: margins}
 		if placement.Contains(st.Title.ID) {
-			p.pos = int64(st.Offset/blockSize) % maxI64(imageBlocks, 1)
-			p.startAt = cachePlan.Cycle
 			if err := cb.Assign(i); err != nil {
 				return Result{}, err
 			}
 		} else {
-			p.pos = (st.Title.StartLB + int64(st.Offset/blockSize)) % diskBlocks
-			p.startAt = missPlayStart
 			if _, err := bb.Attach(i); err != nil {
 				return Result{}, err
 			}
 		}
-		p.lastDrain = p.startAt
-		players[i] = p
 	}
 
-	duration := cfg.Duration
-	if duration <= 0 {
-		duration = 3 * tDisk
-	}
-	diskCycles := int64(duration / tDisk)
-	if diskCycles < 3 {
-		diskCycles = 3
-	}
-	end := time.Duration(diskCycles) * tDisk
+	diskCycles, end, _ := r.horizon(tDisk, 3, 3)
 
 	// --- Miss side: disk → buffer sub-bank → DRAM, as in runBuffered ---
 	diskIOBlocks := blocksFor(bufPlan.DiskIOSize, blockSize)
 	bufChains := make([]*chain, len(bufDevs))
 	for i := range bufChains {
-		bufChains[i] = &chain{eng: eng}
+		bufChains[i] = r.newChain()
 	}
-	diskChain := &chain{eng: eng}
+	diskChain := r.newChain()
+	r.observe("disk", r.dsk, diskChain)
+	for i, d := range bufDevs {
+		r.observe(fmt.Sprintf("mems%d", i), d, bufChains[i])
+	}
 	scheduleDiskCycle := func(c int64) {
-		sched := disk.NewScheduler(dsk, disk.CLook)
+		sched := disk.NewScheduler(r.dsk, disk.CLook)
 		for _, i := range missIDs {
-			p := players[i]
+			p := r.players[i]
 			blk := p.pos
 			if blk+diskIOBlocks > diskBlocks {
 				blk = 0
 			}
 			sched.Enqueue(device.Request{
 				Op: device.Read, Block: blk, Blocks: diskIOBlocks,
-				Stream: i, Issued: eng.Now(),
+				Stream: i, Issued: r.eng.Now(),
 			})
 			p.pos = (blk + diskIOBlocks) % diskBlocks
 		}
@@ -189,24 +163,20 @@ func runHybrid(cfg Config) (Result, error) {
 			})
 		}
 	}
-	for c := int64(0); c < diskCycles; c++ {
-		c := c
-		eng.Schedule(time.Duration(c)*tDisk, func() { scheduleDiskCycle(c) })
-	}
 
 	drainBytes := units.BytesIn(cfg.BitRate, tMems)
 	slotBlocks := blocksFor(bufPlan.DiskIOSize, blockSize)
 	slotCycle := make(map[int]int64, len(missIDs))
 	slotOff := make(map[int]int64, len(missIDs))
 	memsCycles := int64(end / tMems)
-	scheduleMEMSCycle := func() {
-		diskCyc := int64(eng.Now() / tDisk)
+	scheduleMEMSCycle := func(int64) {
+		diskCyc := int64(r.eng.Now() / tDisk)
 		if diskCyc == 0 {
 			return
 		}
 		for _, i := range missIDs {
 			i := i
-			p := players[i]
+			p := r.players[i]
 			if slotCycle[i] != diskCyc {
 				slotCycle[i] = diskCyc
 				slotOff[i] = 0
@@ -236,27 +206,30 @@ func runHybrid(cfg Config) (Result, error) {
 			})
 		}
 	}
-	for m := int64(1); m <= memsCycles; m++ {
-		eng.Schedule(time.Duration(m)*tMems, scheduleMEMSCycle)
-	}
+
+	r.cycleLoop("disk", tDisk, 0, diskCycles, scheduleDiskCycle)
+	r.cycleLoop("mems", tMems, 1, memsCycles, scheduleMEMSCycle)
 
 	// --- Cache side: striped lock-step cycles, as in runCached ---
 	if len(cachedIDs) > 0 {
-		cacheChain := &chain{eng: eng}
+		cacheChain := r.newChain()
+		for i, d := range cacheDevs {
+			r.observe(fmt.Sprintf("cache%d", i), d, cacheChain)
+		}
 		ioBlocks := blocksFor(cachePlan.IOSize, blockSize)
 		cacheCycles := int64(end / cachePlan.Cycle)
 		if cacheCycles < 2 {
 			cacheCycles = 2
 		}
-		scheduleCacheCycle := func() {
+		scheduleCacheCycle := func(int64) {
 			for _, i := range cachedIDs {
 				i := i
-				p := players[i]
+				p := r.players[i]
 				blk := p.pos
 				if blk+ioBlocks > imageBlocks {
 					blk = 0
 				}
-				p.pos = (blk + ioBlocks) % maxI64(imageBlocks, 1)
+				p.pos = (blk + ioBlocks) % max(imageBlocks, 1)
 				cacheChain.submit(func(start time.Duration) time.Duration {
 					comp, err := cb.Read(start, i, blk, ioBlocks)
 					if err != nil {
@@ -266,53 +239,19 @@ func runHybrid(cfg Config) (Result, error) {
 					if err := p.buf.Fill(cachePlan.IOSize); err != nil {
 						panic(err)
 					}
+					r.noteCacheFill(cachePlan.IOSize)
 					return comp.Finish
 				})
 			}
 		}
-		for c := int64(0); c < cacheCycles; c++ {
-			eng.Schedule(time.Duration(c)*cachePlan.Cycle, scheduleCacheCycle)
-		}
+		r.cycleLoop("cache", cachePlan.Cycle, 0, cacheCycles, scheduleCacheCycle)
 	}
 
-	eng.Schedule(end, func() {
-		for _, p := range players {
-			p.drainTo(end)
-		}
-	})
-	eng.Run()
+	r.finish(end)
 
-	res := Result{
-		Mode:          Hybrid,
-		Streams:       cfg.N,
-		SimulatedTime: end,
-		Events:        eng.Executed(),
-		Cycles:        diskCycles,
-		PlannedDRAM:   cachePlan.TotalDRAM + bufPlan.TotalDRAM,
-		DRAMHighWater: pool.HighWater(),
-		DiskBusy:      dsk.BusyTime(),
-		DiskUtil:      float64(dsk.BusyTime()) / float64(end),
-		DiskIOs:       dsk.Served(),
-		FromCache:     len(cachedIDs),
-		FromDisk:      len(missIDs),
-	}
-	var memsBusy time.Duration
-	for _, d := range cacheDevs {
-		memsBusy += d.BusyTime()
-		res.MEMSIOs += d.Served()
-	}
-	for _, d := range bufDevs {
-		memsBusy += d.BusyTime()
-		res.MEMSIOs += d.Served()
-	}
-	res.MEMSBusy = memsBusy
-	res.MEMSUtil = float64(memsBusy) / (float64(end) * float64(cfg.K))
-	for _, p := range players {
-		res.Underflows += p.underflow
-		res.UnderflowBytes += p.deficit
-	}
-	if m, ok := margins.Quantile(0.05); ok {
-		res.MarginP5 = units.Seconds(m)
-	}
+	res := r.result(Hybrid, end, diskCycles)
+	res.PlannedDRAM = cachePlan.TotalDRAM + bufPlan.TotalDRAM
+	res.FromCache = len(cachedIDs)
+	res.FromDisk = len(missIDs)
 	return res, nil
 }

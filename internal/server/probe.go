@@ -1,0 +1,145 @@
+package server
+
+import (
+	"time"
+
+	"memstream/internal/units"
+)
+
+// Trace is the optional per-cycle time series an instrumented run records
+// (Config.Trace). Where Result collapses a run into end-of-run scalars,
+// the trace exposes its dynamics: DRAM occupancy, per-device queue depth
+// and work deltas, underflow deltas and cache-hit deltas, one sample per
+// scheduling cycle. The EDF baseline has no cycle structure and records
+// no samples.
+type Trace struct {
+	Samples []Sample `json:"samples"`
+}
+
+// Sample captures the rig's resource state inside the engine event that
+// scheduled one cycle, after its scheduling stage ran. Deltas are
+// measured since the previous sample of any source, so a mode with
+// several interleaved cycle loops (disk + mems + cache) yields one
+// coherent merged time series.
+type Sample struct {
+	// Source names the cycle loop that fired: "disk", "mems" or "cache".
+	Source string `json:"source"`
+	// Cycle is the loop-local cycle index.
+	Cycle int64 `json:"cycle"`
+	// At is the simulated time of the sample in nanoseconds.
+	At time.Duration `json:"at_ns"`
+
+	DRAMInUse     units.Bytes `json:"dram_in_use"`
+	DRAMHighWater units.Bytes `json:"dram_high_water"`
+
+	UnderflowsDelta     int         `json:"underflows_delta"`
+	UnderflowBytesDelta units.Bytes `json:"underflow_bytes_delta"`
+
+	// Cache-hit deltas: DRAM fills served from the cache bank since the
+	// previous sample (Cached/Hybrid modes; zero elsewhere).
+	CacheFillsDelta     uint64      `json:"cache_fills_delta,omitempty"`
+	CacheFillBytesDelta units.Bytes `json:"cache_fill_bytes_delta,omitempty"`
+
+	// Devices reports every instrumented device in registration order.
+	Devices []DeviceSample `json:"devices"`
+}
+
+// DeviceSample is one device's queue depth and work delta at a sample.
+type DeviceSample struct {
+	Name string `json:"name"`
+	// Queue is the depth of the device's service chain at the sample,
+	// including the item in service; -1 when the device has no chain.
+	Queue     int           `json:"queue"`
+	BusyDelta time.Duration `json:"busy_delta_ns"`
+	IOsDelta  uint64        `json:"ios_delta"`
+}
+
+// busyServer is the accounting surface shared by the disk and MEMS device
+// simulators.
+type busyServer interface {
+	BusyTime() time.Duration
+	Served() uint64
+}
+
+// instrument is one observed device: its cumulative counters plus the
+// chain feeding it, for queue depth.
+type instrument struct {
+	name string
+	dev  busyServer
+	ch   *chain // nil when the driver keeps no chain (EDF)
+
+	lastBusy   time.Duration
+	lastServed uint64
+}
+
+// probe collects the per-cycle samples. It holds only last-sample
+// snapshots of counters the run maintains anyway, and sampling runs
+// inside existing cycle events — attaching it cannot change a Result.
+type probe struct {
+	r           *rig
+	trace       *Trace
+	instruments []*instrument
+
+	lastUnderflows     int
+	lastUnderflowBytes units.Bytes
+	lastCacheFills     uint64
+	lastCacheFillBytes units.Bytes
+}
+
+func newProbe(r *rig) *probe {
+	// Samples starts non-nil so an empty trace (EDF) serializes as an
+	// empty array rather than null.
+	return &probe{r: r, trace: &Trace{Samples: []Sample{}}}
+}
+
+// observe registers a device with the rig's probe; a no-op when no probe
+// is attached, so drivers call it unconditionally.
+func (r *rig) observe(name string, dev busyServer, ch *chain) {
+	if r.probe == nil {
+		return
+	}
+	r.probe.instruments = append(r.probe.instruments, &instrument{name: name, dev: dev, ch: ch})
+}
+
+// sample appends one observation for the given cycle loop.
+func (pr *probe) sample(source string, cycle int64) {
+	r := pr.r
+	s := Sample{
+		Source:        source,
+		Cycle:         cycle,
+		At:            r.eng.Now(),
+		DRAMInUse:     r.pool.Used(),
+		DRAMHighWater: r.pool.HighWater(),
+	}
+
+	var uf int
+	var ufb units.Bytes
+	for _, p := range r.players {
+		uf += p.underflow
+		ufb += p.deficit
+	}
+	s.UnderflowsDelta = uf - pr.lastUnderflows
+	s.UnderflowBytesDelta = ufb - pr.lastUnderflowBytes
+	pr.lastUnderflows, pr.lastUnderflowBytes = uf, ufb
+
+	s.CacheFillsDelta = r.cacheFills - pr.lastCacheFills
+	s.CacheFillBytesDelta = r.cacheFillBytes - pr.lastCacheFillBytes
+	pr.lastCacheFills, pr.lastCacheFillBytes = r.cacheFills, r.cacheFillBytes
+
+	s.Devices = make([]DeviceSample, 0, len(pr.instruments))
+	for _, in := range pr.instruments {
+		busy, served := in.dev.BusyTime(), in.dev.Served()
+		d := DeviceSample{
+			Name:      in.name,
+			Queue:     -1,
+			BusyDelta: busy - in.lastBusy,
+			IOsDelta:  served - in.lastServed,
+		}
+		if in.ch != nil {
+			d.Queue = in.ch.depth()
+		}
+		in.lastBusy, in.lastServed = busy, served
+		s.Devices = append(s.Devices, d)
+	}
+	pr.trace.Samples = append(pr.trace.Samples, s)
+}

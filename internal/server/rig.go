@@ -1,0 +1,455 @@
+package server
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"memstream/internal/disk"
+	"memstream/internal/dram"
+	"memstream/internal/mems"
+	"memstream/internal/sim"
+	"memstream/internal/units"
+	"memstream/internal/workload"
+)
+
+// rig is the shared run-core every architecture driver builds on: it owns
+// the simulation engine, the DRAM pool, the run's RNG, the catalog and the
+// drawn stream population, constructs players, applies the playback
+// shaping extensions (VBR traces with cushions, the pause integrator),
+// drives the per-cycle scheduling stages, performs the final drain, and
+// assembles the cross-mode Result fields. Drivers contribute only their
+// architecture: device/bank setup, per-player placement and start times,
+// and the per-cycle scheduling stage each cycleLoop runs.
+//
+// Determinism contract: newRig consumes the run RNG exactly as every
+// driver historically did (one Uint64 for the stream generator), and the
+// shaping helpers Split it in driver-controlled order — so a refactored
+// driver reproduces the pre-rig byte-identical Results for any seed.
+type rig struct {
+	cfg     Config
+	eng     *sim.Engine
+	pool    *dram.Pool
+	rng     *sim.RNG
+	dsk     *disk.Device
+	cat     *workload.Catalog
+	set     *workload.Set
+	players []*player
+	margins *sim.Reservoir
+
+	// memsDevs are the bank devices registered for Result accounting
+	// (busy time, IO counts, utilization over cfg.K).
+	memsDevs []*mems.Device
+
+	// probe, when attached (Config.Trace), records the per-cycle time
+	// series surfaced as Result.Trace. Sampling piggybacks on the cycle
+	// events themselves, so attachment never perturbs the run.
+	probe *probe
+
+	// Cache-side fill accounting for the probe's hit deltas
+	// (Cached/Hybrid drivers note each fill served from the cache bank).
+	cacheFills     uint64
+	cacheFillBytes units.Bytes
+}
+
+// newRig instantiates the shared machinery: the disk, the catalog laid
+// out on it, the engine, an unlimited accounting pool, the run RNG and
+// the stream population drawn from it.
+func newRig(cfg Config) (*rig, error) {
+	dsk, err := disk.New(cfg.Disk)
+	if err != nil {
+		return nil, err
+	}
+	cat, err := newCatalog(cfg, dsk.Geometry().BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	eng := &sim.Engine{}
+	pool := dram.NewPool(0)
+	rng := sim.NewRNG(cfg.Seed)
+	gen := workload.NewGenerator(cat, rng.Uint64())
+	set, err := gen.Draw(cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	r := &rig{
+		cfg: cfg, eng: eng, pool: pool, rng: rng, dsk: dsk, cat: cat, set: set,
+		players: make([]*player, cfg.N),
+		margins: sim.NewReservoir(8192, cfg.Seed^0xabcdef),
+	}
+	if cfg.Trace {
+		r.probe = newProbe(r)
+	}
+	return r, nil
+}
+
+// diskPos maps a drawn stream to its starting block on the disk image.
+func (r *rig) diskPos(st workload.Stream) int64 {
+	g := r.dsk.Geometry()
+	return (st.Title.StartLB + int64(st.Offset/g.BlockSize)) % g.Blocks
+}
+
+// addPlayer opens stream i's DRAM buffer and installs its player, with
+// playback beginning (and margin tracking anchored) at startAt.
+func (r *rig) addPlayer(i int, pos int64, startAt time.Duration) (*player, error) {
+	buf, err := r.pool.Open(i, r.cfg.BitRate)
+	if err != nil {
+		return nil, err
+	}
+	p := &player{buf: buf, pos: pos, startAt: startAt, lastDrain: startAt, margins: r.margins}
+	r.players[i] = p
+	return p, nil
+}
+
+// shapeInteractive wires the pause/resume consumption integrals when
+// Config.PausedFraction asks for interactive playback: every player
+// alternates exponentially distributed play and pause phases so the
+// configured fraction of stream-time is paused. Consumes one RNG split.
+func (r *rig) shapeInteractive(cycle, duration time.Duration) {
+	if !(r.cfg.PausedFraction > 0 && r.cfg.PausedFraction < 1) {
+		return
+	}
+	prng := r.rng.Split()
+	meanPlay := 5 * cycle.Seconds()
+	meanPause := meanPlay * r.cfg.PausedFraction / (1 - r.cfg.PausedFraction)
+	horizon := (duration + cycle).Seconds()
+	for _, p := range r.players {
+		p.consume = pauseIntegrator(prng, r.cfg.BitRate, meanPlay, meanPause, horizon)
+	}
+}
+
+// shapeVBR wires VBR playback (the paper's footnote 1) when Config.VBRCoV
+// asks for it: each player consumes along a normalized per-interval rate
+// trace, and unless NoCushion is set the CushionFor prefetch lands in its
+// buffer before the run starts. skip, when non-nil, excludes players
+// (recorders never play back). Consumes one RNG split.
+func (r *rig) shapeVBR(interval time.Duration, intervals int, skip func(i int) bool) error {
+	if r.cfg.VBRCoV <= 0 {
+		return nil
+	}
+	vrng := r.rng.Split()
+	for i, p := range r.players {
+		if skip != nil && skip(i) {
+			continue
+		}
+		trace := workload.VBRTrace(vrng, r.cfg.BitRate, r.cfg.VBRCoV, intervals)
+		normalizeTrace(trace, r.cfg.BitRate)
+		p.consume = traceIntegrator(trace, interval)
+		if !r.cfg.NoCushion {
+			if err := p.buf.Fill(workload.CushionFor(trace, interval)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// span resolves the run length for non-quantized horizons: the configured
+// Duration, or def when unset.
+func (r *rig) span(def time.Duration) time.Duration {
+	if r.cfg.Duration > 0 {
+		return r.cfg.Duration
+	}
+	return def
+}
+
+// horizon resolves a cycle-quantized run length: the configured Duration
+// (or defCycles cycles when unset) floored to whole cycles with a minimum
+// of minCycles. It returns the cycle count, the quantized end, and the
+// raw un-quantized duration (the pause-process horizon spans the latter).
+func (r *rig) horizon(cycle time.Duration, defCycles, minCycles int64) (cycles int64, end, raw time.Duration) {
+	raw = r.span(time.Duration(defCycles) * cycle)
+	cycles = int64(raw / cycle)
+	if cycles < minCycles {
+		cycles = minCycles
+	}
+	return cycles, time.Duration(cycles) * cycle, raw
+}
+
+// newChain allocates a FIFO service chain on the rig's engine.
+func (r *rig) newChain() *chain { return &chain{eng: r.eng} }
+
+// cycleLoop drives one periodic scheduling stage: fn runs once per cycle
+// c ∈ [first, first+n) at time c·period. When a probe is attached, the
+// cycle's resource sample is taken inside the same engine event right
+// after fn, so attaching the probe changes neither the event calendar nor
+// any Result field.
+func (r *rig) cycleLoop(source string, period time.Duration, first, n int64, fn func(c int64)) {
+	for c := first; c < first+n; c++ {
+		c := c
+		r.eng.Schedule(time.Duration(c)*period, func() {
+			fn(c)
+			if r.probe != nil {
+				r.probe.sample(source, c)
+			}
+		})
+	}
+}
+
+// finish schedules the final drain of every player at end and runs the
+// calendar dry.
+func (r *rig) finish(end time.Duration) {
+	r.eng.Schedule(end, func() {
+		for _, p := range r.players {
+			p.drainTo(end)
+		}
+	})
+	r.eng.Run()
+}
+
+// trackMEMS registers bank devices for the Result's MEMS accounting.
+func (r *rig) trackMEMS(devs ...*mems.Device) {
+	r.memsDevs = append(r.memsDevs, devs...)
+}
+
+// noteCacheFill accounts one DRAM fill served from the cache bank — the
+// per-cycle cache-hit delta the probe reports.
+func (r *rig) noteCacheFill(b units.Bytes) {
+	r.cacheFills++
+	r.cacheFillBytes += b
+}
+
+// result assembles the cross-mode Result fields: identity, horizon,
+// event/IO/busy accounting, DRAM high water, underflow totals, the
+// delivery-margin quantile and, when a probe ran, the trace. Drivers fill
+// the mode-specific fields afterwards (PlannedDRAM, the cache split,
+// writer and best-effort accounting).
+func (r *rig) result(mode Mode, end time.Duration, cycles int64) Result {
+	res := Result{
+		Mode:          mode,
+		Streams:       r.cfg.N,
+		SimulatedTime: end,
+		Cycles:        cycles,
+		Events:        r.eng.Executed(),
+		DRAMHighWater: r.pool.HighWater(),
+		DiskBusy:      r.dsk.BusyTime(),
+		DiskUtil:      float64(r.dsk.BusyTime()) / float64(end),
+		DiskIOs:       r.dsk.Served(),
+	}
+	var memsBusy time.Duration
+	for _, d := range r.memsDevs {
+		memsBusy += d.BusyTime()
+		res.MEMSIOs += d.Served()
+	}
+	if len(r.memsDevs) > 0 {
+		res.MEMSBusy = memsBusy
+		res.MEMSUtil = float64(memsBusy) / (float64(end) * float64(r.cfg.K))
+	}
+	for _, p := range r.players {
+		res.Underflows += p.underflow
+		res.UnderflowBytes += p.deficit
+	}
+	if m, ok := r.margins.Quantile(0.05); ok {
+		res.MarginP5 = units.Seconds(m)
+	}
+	if r.probe != nil {
+		res.Trace = r.probe.trace
+	}
+	return res
+}
+
+// chain serializes work on one device: items run back-to-back in FIFO
+// order, each receiving its start time and returning its finish time.
+// Two priorities exist: real-time items (submit) always run before
+// queued best-effort items (submitLow), which soak up spare bandwidth
+// (§3.1.2) without delaying any already-queued real-time work.
+type chain struct {
+	eng  *sim.Engine
+	busy bool
+	last time.Duration
+	q    []func(start time.Duration) time.Duration
+	low  []func(start time.Duration) time.Duration
+}
+
+func (c *chain) submit(fn func(start time.Duration) time.Duration) {
+	c.q = append(c.q, fn)
+	if !c.busy {
+		c.busy = true
+		c.runNext()
+	}
+}
+
+// submitLow enqueues best-effort work served only when no real-time item
+// is waiting.
+func (c *chain) submitLow(fn func(start time.Duration) time.Duration) {
+	c.low = append(c.low, fn)
+	if !c.busy {
+		c.busy = true
+		c.runNext()
+	}
+}
+
+// depth is the number of items pending on the chain, including the one in
+// service — the queue-depth gauge the probe samples.
+func (c *chain) depth() int {
+	n := len(c.q) + len(c.low)
+	if c.busy {
+		n++
+	}
+	return n
+}
+
+func (c *chain) runNext() {
+	var fn func(start time.Duration) time.Duration
+	switch {
+	case len(c.q) > 0:
+		fn = c.q[0]
+		c.q = c.q[:copy(c.q, c.q[1:])]
+	case len(c.low) > 0:
+		fn = c.low[0]
+		c.low = c.low[:copy(c.low, c.low[1:])]
+	default:
+		c.busy = false
+		return
+	}
+	start := c.eng.Now()
+	if c.last > start {
+		start = c.last
+	}
+	finish := fn(start)
+	if finish < start {
+		finish = start
+	}
+	c.last = finish
+	c.eng.Schedule(finish-c.eng.Now(), c.runNext)
+}
+
+// player tracks one stream's playback state. Playback begins at startAt
+// (after the priming cycle) and drains lazily: every fill and the end of
+// the run advance the drain clock.
+type player struct {
+	buf       *dram.StreamBuffer
+	pos       int64 // next block to read from its source device
+	lastDrain time.Duration
+	startAt   time.Duration
+	deficit   units.Bytes
+	underflow int
+
+	// consume, when set, integrates a VBR consumption profile over
+	// [from, to) measured from playback start; nil means CBR at the
+	// buffer's nominal rate.
+	consume func(from, to time.Duration) units.Bytes
+
+	// margins, when set, records the post-drain buffer level in playback
+	// seconds — the delivery margin distribution.
+	margins *sim.Reservoir
+}
+
+func (p *player) drainTo(t time.Duration) {
+	if t <= p.startAt || t <= p.lastDrain {
+		return
+	}
+	from := p.lastDrain
+	if from < p.startAt {
+		from = p.startAt
+	}
+	var d units.Bytes
+	if p.consume != nil {
+		d = p.buf.DrainBytes(p.consume(from-p.startAt, t-p.startAt))
+	} else {
+		d = p.buf.Drain(t - from)
+	}
+	if d > 0 {
+		p.deficit += d
+		p.underflow++
+	}
+	if p.margins != nil {
+		p.margins.Observe(p.buf.Level().Seconds(p.buf.Rate()))
+	}
+	p.lastDrain = t
+}
+
+// normalizeTrace rescales a VBR trace so its mean is exactly the nominal
+// rate — the time-cycle supply delivers the nominal rate, so an off-mean
+// trace would drift rather than oscillate. A trace whose sum is not a
+// positive finite number (all-zero, or corrupted with NaN/Inf) is left
+// untouched: dividing by it would inject NaN/Inf rates straight into the
+// consumption integral.
+func normalizeTrace(trace []units.ByteRate, nominal units.ByteRate) {
+	var sum float64
+	for _, r := range trace {
+		sum += float64(r)
+	}
+	if !(sum > 0) || math.IsInf(sum, 1) {
+		return
+	}
+	scale := float64(nominal) * float64(len(trace)) / sum
+	for i := range trace {
+		trace[i] = units.ByteRate(float64(trace[i]) * scale)
+	}
+}
+
+// traceIntegrator returns the consumption integral of a piecewise-constant
+// rate profile with interval length dt; offsets are measured from playback
+// start and the profile repeats beyond its end.
+func traceIntegrator(trace []units.ByteRate, dt time.Duration) func(from, to time.Duration) units.Bytes {
+	prefix := make([]float64, len(trace)+1) // bytes consumed by end of interval i
+	for i, r := range trace {
+		prefix[i+1] = prefix[i] + float64(r)*dt.Seconds()
+	}
+	total := prefix[len(trace)]
+	span := time.Duration(len(trace)) * dt
+	at := func(t time.Duration) float64 {
+		if t <= 0 {
+			return 0
+		}
+		wraps := float64(t / span)
+		rem := t % span
+		i := int(rem / dt)
+		frac := float64(rem%dt) / float64(dt)
+		return wraps*total + prefix[i] + (prefix[i+1]-prefix[i])*frac
+	}
+	return func(from, to time.Duration) units.Bytes {
+		return units.Bytes(at(to) - at(from))
+	}
+}
+
+// pauseIntegrator builds a consumption integral for a play/pause process:
+// alternating exponentially distributed play (consuming at rate) and
+// pause (consuming nothing) phases, precomputed out to horizon seconds.
+func pauseIntegrator(rng *sim.RNG, rate units.ByteRate, meanPlay, meanPause, horizon float64) func(from, to time.Duration) units.Bytes {
+	// boundaries[i] alternates play-end, pause-end, ...; consumed[i] is the
+	// cumulative consumption at boundaries[i].
+	var boundaries []float64
+	var consumed []float64
+	t, c := 0.0, 0.0
+	playing := true
+	for t < horizon {
+		var d float64
+		if playing {
+			d = rng.Exp(meanPlay)
+			c += float64(rate) * d
+		} else {
+			d = rng.Exp(meanPause)
+		}
+		t += d
+		boundaries = append(boundaries, t)
+		consumed = append(consumed, c)
+		playing = !playing
+	}
+	// The scheduler drains every player each cycle, so at() runs O(cycles)
+	// times per stream; a linear scan over all boundaries made each drain
+	// O(phases) and a run O(n²). Binary search over the sorted boundary
+	// list keeps each lookup O(log n).
+	at := func(x time.Duration) float64 {
+		xs := x.Seconds()
+		if xs <= 0 || len(boundaries) == 0 {
+			return 0
+		}
+		i := sort.SearchFloat64s(boundaries, xs) // first boundary ≥ xs
+		if i == len(boundaries) {
+			return consumed[len(consumed)-1] // beyond the horizon: treat as paused
+		}
+		prevT, prevC := 0.0, 0.0
+		if i > 0 {
+			prevT, prevC = boundaries[i-1], consumed[i-1]
+		}
+		if i%2 == 0 { // inside a play phase
+			return prevC + float64(rate)*(xs-prevT)
+		}
+		return prevC // inside a pause phase
+	}
+	return func(from, to time.Duration) units.Bytes {
+		return units.Bytes(at(to) - at(from))
+	}
+}

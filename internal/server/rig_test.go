@@ -1,0 +1,169 @@
+package server
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"memstream/internal/model"
+	"memstream/internal/units"
+)
+
+// rigConfigs is one representative configuration per driver, small enough
+// to run all five in a table test.
+func rigConfigs() []struct {
+	name string
+	cfg  Config
+} {
+	edf := baseConfig(Direct, 50, units.MBPS)
+	edf.UseEDF = true
+	cached := baseConfig(Cached, 200, 100*units.KBPS)
+	cached.CachePolicy = model.Striped
+	cached.Titles = 400
+	hybrid := baseConfig(Hybrid, 300, 100*units.KBPS)
+	hybrid.K = 4
+	hybrid.CacheDevices = 2
+	hybrid.Titles = 400
+	return []struct {
+		name string
+		cfg  Config
+	}{
+		{"direct", baseConfig(Direct, 50, units.MBPS)},
+		{"edf", edf},
+		{"buffered", baseConfig(Buffered, 100, units.MBPS)},
+		{"cached", cached},
+		{"hybrid", hybrid},
+	}
+}
+
+// Every mode populates the cross-mode Result fields the rig assembles.
+func TestResultInvariantsAcrossModes(t *testing.T) {
+	for _, tc := range rigConfigs() {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Run(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Streams != tc.cfg.N {
+				t.Errorf("Streams = %d, want %d", res.Streams, tc.cfg.N)
+			}
+			if res.Events <= 0 {
+				t.Error("Events not populated")
+			}
+			if res.Cycles <= 0 {
+				t.Error("Cycles not populated")
+			}
+			if res.SimulatedTime <= 0 {
+				t.Error("SimulatedTime not populated")
+			}
+			if res.MarginP5 <= 0 {
+				t.Errorf("MarginP5 = %v, want > 0 with %d streams", res.MarginP5, tc.cfg.N)
+			}
+			if res.DiskBusy <= 0 || res.DiskIOs == 0 {
+				t.Error("disk accounting not populated")
+			}
+		})
+	}
+}
+
+// Attaching the probe must not change the run: same seed, Trace on vs off,
+// identical Result in every field but the trace itself.
+func TestProbeAttachmentPreservesResult(t *testing.T) {
+	for _, tc := range rigConfigs() {
+		t.Run(tc.name, func(t *testing.T) {
+			plain, err := Run(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			traced := tc.cfg
+			traced.Trace = true
+			got, err := Run(traced)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Trace == nil {
+				t.Fatal("Trace=true returned no trace")
+			}
+			got.Trace = nil
+			if !reflect.DeepEqual(got, plain) {
+				t.Errorf("probe changed the run:\n with %+v\n without %+v", got, plain)
+			}
+		})
+	}
+}
+
+// The recorded trace is coherent: monotone timestamps, per-source cycle
+// progression, deltas that sum to the Result totals, and the per-mode
+// sources present.
+func TestTraceContents(t *testing.T) {
+	wantSources := map[string][]string{
+		"direct":   {"disk"},
+		"edf":      {}, // no cycle structure, empty trace
+		"buffered": {"disk", "mems"},
+		"cached":   {"disk", "cache"},
+		"hybrid":   {"disk", "mems", "cache"},
+	}
+	for _, tc := range rigConfigs() {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			cfg.Trace = true
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			samples := res.Trace.Samples
+			want := wantSources[tc.name]
+			if len(want) == 0 {
+				if len(samples) != 0 {
+					t.Fatalf("EDF recorded %d samples, want none", len(samples))
+				}
+				return
+			}
+			if len(samples) == 0 {
+				t.Fatal("no samples recorded")
+			}
+			seen := map[string]bool{}
+			lastAt := time.Duration(-1)
+			lastCycle := map[string]int64{}
+			var uf int
+			var fills uint64
+			for _, s := range samples {
+				seen[s.Source] = true
+				if s.At < lastAt {
+					t.Fatalf("timestamps not monotone: %v after %v", s.At, lastAt)
+				}
+				lastAt = s.At
+				if prev, ok := lastCycle[s.Source]; ok && s.Cycle != prev+1 {
+					t.Fatalf("%s cycles not consecutive: %d after %d", s.Source, s.Cycle, prev)
+				}
+				lastCycle[s.Source] = s.Cycle
+				if s.DRAMInUse > s.DRAMHighWater {
+					t.Fatalf("in-use %v above high water %v", s.DRAMInUse, s.DRAMHighWater)
+				}
+				if s.DRAMHighWater > res.DRAMHighWater {
+					t.Fatalf("sample high water %v above final %v", s.DRAMHighWater, res.DRAMHighWater)
+				}
+				for _, d := range s.Devices {
+					if d.Queue < -1 || d.BusyDelta < 0 {
+						t.Fatalf("bad device sample %+v", d)
+					}
+				}
+				uf += s.UnderflowsDelta
+				fills += s.CacheFillsDelta
+			}
+			for _, src := range want {
+				if !seen[src] {
+					t.Errorf("source %q missing from trace", src)
+				}
+			}
+			// Deltas never exceed the run totals (the final drain happens
+			// after the last sample, so strict equality isn't guaranteed).
+			if uf > res.Underflows {
+				t.Errorf("summed underflow deltas %d exceed total %d", uf, res.Underflows)
+			}
+			if res.FromCache > 0 && fills == 0 {
+				t.Error("cache mode recorded no cache-fill deltas")
+			}
+		})
+	}
+}

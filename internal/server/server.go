@@ -7,20 +7,22 @@
 // predicts: underflows, delivery margins, device utilization and actual
 // DRAM occupancy. Extensions: write streams, VBR playback with cushions,
 // interactive pause/resume, and best-effort traffic in spare bandwidth.
+//
+// Every architecture runs on a shared run-core (see rig.go): the rig owns
+// the engine, DRAM pool, RNG, catalog, player construction, playback
+// shaping and Result assembly, and each run* driver contributes only its
+// device setup plus per-cycle scheduling stages. An optional per-cycle
+// observability probe (probe.go, Config.Trace) records the run's dynamics
+// as Result.Trace without perturbing it.
 package server
 
 import (
 	"fmt"
-	"math"
-	"sort"
 	"time"
 
-	"memstream/internal/device"
 	"memstream/internal/disk"
-	"memstream/internal/dram"
 	"memstream/internal/mems"
 	"memstream/internal/model"
-	"memstream/internal/sim"
 	"memstream/internal/units"
 	"memstream/internal/workload"
 )
@@ -104,6 +106,14 @@ type Config struct {
 	// they moved; real-time traffic keeps strict priority.
 	BestEffort bool
 
+	// Trace attaches the per-cycle observability probe: the run records
+	// one Sample per scheduling cycle (DRAM occupancy, device queue
+	// depth and busy deltas, underflow and cache-hit deltas) surfaced as
+	// Result.Trace. Attachment is guaranteed not to change any other
+	// Result field — sampling rides the existing cycle events. The EDF
+	// baseline has no cycles and records an empty trace.
+	Trace bool
+
 	Duration time.Duration // simulated run length; 0 = 10 disk cycles
 	Seed     uint64
 }
@@ -114,7 +124,10 @@ type Result struct {
 	Streams int
 
 	SimulatedTime time.Duration
-	Cycles        int64
+	// Cycles counts the scheduling rounds of the run's dominant cycle
+	// loop (disk cycles where the disk leads; the busier side in Cached
+	// mode; planning cycles for EDF, which schedules per-request).
+	Cycles int64
 	// Events is how many simulation-kernel events fired during the run
 	// (Engine.Executed) — the per-run cost metric the experiment harness
 	// exports.
@@ -154,107 +167,10 @@ type Result struct {
 	// deadlines were met with room; values near zero flag a schedule
 	// running on the edge.
 	MarginP5 time.Duration
-}
 
-// chain serializes work on one device: items run back-to-back in FIFO
-// order, each receiving its start time and returning its finish time.
-// Two priorities exist: real-time items (submit) always run before
-// queued best-effort items (submitLow), which soak up spare bandwidth
-// (§3.1.2) without delaying any already-queued real-time work.
-type chain struct {
-	eng  *sim.Engine
-	busy bool
-	last time.Duration
-	q    []func(start time.Duration) time.Duration
-	low  []func(start time.Duration) time.Duration
-}
-
-func (c *chain) submit(fn func(start time.Duration) time.Duration) {
-	c.q = append(c.q, fn)
-	if !c.busy {
-		c.busy = true
-		c.runNext()
-	}
-}
-
-// submitLow enqueues best-effort work served only when no real-time item
-// is waiting.
-func (c *chain) submitLow(fn func(start time.Duration) time.Duration) {
-	c.low = append(c.low, fn)
-	if !c.busy {
-		c.busy = true
-		c.runNext()
-	}
-}
-
-func (c *chain) runNext() {
-	var fn func(start time.Duration) time.Duration
-	switch {
-	case len(c.q) > 0:
-		fn = c.q[0]
-		c.q = c.q[:copy(c.q, c.q[1:])]
-	case len(c.low) > 0:
-		fn = c.low[0]
-		c.low = c.low[:copy(c.low, c.low[1:])]
-	default:
-		c.busy = false
-		return
-	}
-	start := c.eng.Now()
-	if c.last > start {
-		start = c.last
-	}
-	finish := fn(start)
-	if finish < start {
-		finish = start
-	}
-	c.last = finish
-	c.eng.Schedule(finish-c.eng.Now(), c.runNext)
-}
-
-// player tracks one stream's playback state. Playback begins at startAt
-// (after the priming cycle) and drains lazily: every fill and the end of
-// the run advance the drain clock.
-type player struct {
-	buf       *dram.StreamBuffer
-	pos       int64 // next block to read from its source device
-	lastDrain time.Duration
-	startAt   time.Duration
-	deficit   units.Bytes
-	underflow int
-
-	// consume, when set, integrates a VBR consumption profile over
-	// [from, to) measured from playback start; nil means CBR at the
-	// buffer's nominal rate.
-	consume func(from, to time.Duration) units.Bytes
-
-	// margins, when set, records the post-drain buffer level in playback
-	// seconds — the delivery margin distribution.
-	margins *sim.Reservoir
-}
-
-func (p *player) drainTo(t time.Duration) {
-	if t <= p.startAt || t <= p.lastDrain {
-		return
-	}
-	from := p.lastDrain
-	if from < p.startAt {
-		from = p.startAt
-	}
-	var d units.Bytes
-	if p.consume != nil {
-		d = p.buf.DrainBytes(p.consume(from-p.startAt, t-p.startAt))
-	} else {
-		d = p.buf.Drain(t - from)
-	}
-	if d > 0 {
-		p.deficit += d
-		p.underflow++
-	}
-	if p.margins != nil {
-		p.margins.Observe(p.buf.Level().Seconds(p.buf.Rate()))
-	}
-	p.lastDrain = t
+	// Trace is the per-cycle time series recorded when Config.Trace is
+	// set; nil otherwise.
+	Trace *Trace
 }
 
 // Run executes one simulation.
@@ -333,101 +249,6 @@ func newCatalog(cfg Config, blockSize units.Bytes) (*workload.Catalog, error) {
 	return workload.NewCatalog(cfg.Titles, mediaClass(cfg.BitRate), d.Weights(cfg.Titles), blockSize)
 }
 
-// normalizeTrace rescales a VBR trace so its mean is exactly the nominal
-// rate — the time-cycle supply delivers the nominal rate, so an off-mean
-// trace would drift rather than oscillate. A trace whose sum is not a
-// positive finite number (all-zero, or corrupted with NaN/Inf) is left
-// untouched: dividing by it would inject NaN/Inf rates straight into the
-// consumption integral.
-func normalizeTrace(trace []units.ByteRate, nominal units.ByteRate) {
-	var sum float64
-	for _, r := range trace {
-		sum += float64(r)
-	}
-	if !(sum > 0) || math.IsInf(sum, 1) {
-		return
-	}
-	scale := float64(nominal) * float64(len(trace)) / sum
-	for i := range trace {
-		trace[i] = units.ByteRate(float64(trace[i]) * scale)
-	}
-}
-
-// traceIntegrator returns the consumption integral of a piecewise-constant
-// rate profile with interval length dt; offsets are measured from playback
-// start and the profile repeats beyond its end.
-func traceIntegrator(trace []units.ByteRate, dt time.Duration) func(from, to time.Duration) units.Bytes {
-	prefix := make([]float64, len(trace)+1) // bytes consumed by end of interval i
-	for i, r := range trace {
-		prefix[i+1] = prefix[i] + float64(r)*dt.Seconds()
-	}
-	total := prefix[len(trace)]
-	span := time.Duration(len(trace)) * dt
-	at := func(t time.Duration) float64 {
-		if t <= 0 {
-			return 0
-		}
-		wraps := float64(t / span)
-		rem := t % span
-		i := int(rem / dt)
-		frac := float64(rem%dt) / float64(dt)
-		return wraps*total + prefix[i] + (prefix[i+1]-prefix[i])*frac
-	}
-	return func(from, to time.Duration) units.Bytes {
-		return units.Bytes(at(to) - at(from))
-	}
-}
-
-// pauseIntegrator builds a consumption integral for a play/pause process:
-// alternating exponentially distributed play (consuming at rate) and
-// pause (consuming nothing) phases, precomputed out to horizon seconds.
-func pauseIntegrator(rng *sim.RNG, rate units.ByteRate, meanPlay, meanPause, horizon float64) func(from, to time.Duration) units.Bytes {
-	// boundaries[i] alternates play-end, pause-end, ...; consumed[i] is the
-	// cumulative consumption at boundaries[i].
-	var boundaries []float64
-	var consumed []float64
-	t, c := 0.0, 0.0
-	playing := true
-	for t < horizon {
-		var d float64
-		if playing {
-			d = rng.Exp(meanPlay)
-			c += float64(rate) * d
-		} else {
-			d = rng.Exp(meanPause)
-		}
-		t += d
-		boundaries = append(boundaries, t)
-		consumed = append(consumed, c)
-		playing = !playing
-	}
-	// The scheduler drains every player each cycle, so at() runs O(cycles)
-	// times per stream; a linear scan over all boundaries made each drain
-	// O(phases) and a run O(n²). Binary search over the sorted boundary
-	// list keeps each lookup O(log n).
-	at := func(x time.Duration) float64 {
-		xs := x.Seconds()
-		if xs <= 0 || len(boundaries) == 0 {
-			return 0
-		}
-		i := sort.SearchFloat64s(boundaries, xs) // first boundary ≥ xs
-		if i == len(boundaries) {
-			return consumed[len(consumed)-1] // beyond the horizon: treat as paused
-		}
-		prevT, prevC := 0.0, 0.0
-		if i > 0 {
-			prevT, prevC = boundaries[i-1], consumed[i-1]
-		}
-		if i%2 == 0 { // inside a play phase
-			return prevC + float64(rate)*(xs-prevT)
-		}
-		return prevC // inside a pause phase
-	}
-	return func(from, to time.Duration) units.Bytes {
-		return units.Bytes(at(to) - at(from))
-	}
-}
-
 func blocksFor(b units.Bytes, blockSize units.Bytes) int64 {
 	n := int64(b / blockSize)
 	if units.Bytes(n)*blockSize < b {
@@ -437,161 +258,4 @@ func blocksFor(b units.Bytes, blockSize units.Bytes) int64 {
 		n = 1
 	}
 	return n
-}
-
-// runDirect simulates the baseline disk→DRAM server.
-func runDirect(cfg Config) (Result, error) {
-	dsk, err := disk.New(cfg.Disk)
-	if err != nil {
-		return Result{}, err
-	}
-	plan, err := model.DiskDirect(model.StreamLoad{N: cfg.N, BitRate: cfg.BitRate}, diskSpec(dsk))
-	if err != nil {
-		return Result{}, err
-	}
-	cat, err := newCatalog(cfg, dsk.Geometry().BlockSize)
-	if err != nil {
-		return Result{}, err
-	}
-
-	eng := &sim.Engine{}
-	pool := dram.NewPool(0)
-	rng := sim.NewRNG(cfg.Seed)
-	gen := workload.NewGenerator(cat, rng.Uint64())
-	set, err := gen.Draw(cfg.N)
-	if err != nil {
-		return Result{}, err
-	}
-
-	players := make([]*player, cfg.N)
-	margins := sim.NewReservoir(8192, cfg.Seed^0xabcdef)
-	diskBlocks := dsk.Geometry().Blocks
-	for i, st := range set.Streams {
-		buf, err := pool.Open(i, cfg.BitRate)
-		if err != nil {
-			return Result{}, err
-		}
-		pos := (st.Title.StartLB + int64(st.Offset/dsk.Geometry().BlockSize)) % diskBlocks
-		players[i] = &player{buf: buf, pos: pos, startAt: plan.Cycle, lastDrain: plan.Cycle, margins: margins}
-	}
-
-	duration := cfg.Duration
-	if duration <= 0 {
-		duration = 10 * plan.Cycle
-	}
-	cycles := int64(duration / plan.Cycle)
-	if cycles < 2 {
-		cycles = 2
-	}
-	ioBlocks := blocksFor(plan.IOSize, dsk.Geometry().BlockSize)
-
-	// Interactive playback: alternate exponentially distributed play and
-	// pause phases per stream. Pauses enter through the consumption
-	// integral (rate zero while paused); the per-cycle scheduler below
-	// additionally skips IOs for streams whose buffers are already full.
-	if cfg.PausedFraction > 0 && cfg.PausedFraction < 1 {
-		prng := rng.Split()
-		meanPlay := 5 * plan.Cycle.Seconds()
-		meanPause := meanPlay * cfg.PausedFraction / (1 - cfg.PausedFraction)
-		horizon := (duration + plan.Cycle).Seconds()
-		for _, p := range players {
-			p.consume = pauseIntegrator(prng, cfg.BitRate, meanPlay, meanPause, horizon)
-		}
-	}
-
-	// VBR playback (footnote 1): each stream consumes along a per-cycle
-	// rate profile with the configured coefficient of variation; the
-	// cushion CushionFor computes is prefetched before playback begins.
-	if cfg.VBRCoV > 0 {
-		vrng := rng.Split()
-		for _, p := range players {
-			trace := workload.VBRTrace(vrng, cfg.BitRate, cfg.VBRCoV, int(cycles)+2)
-			normalizeTrace(trace, cfg.BitRate)
-			p.consume = traceIntegrator(trace, plan.Cycle)
-			if !cfg.NoCushion {
-				if err := p.buf.Fill(workload.CushionFor(trace, plan.Cycle)); err != nil {
-					return Result{}, err
-				}
-			}
-		}
-	}
-
-	diskChain := &chain{eng: eng}
-	scheduleCycle := func(c int64) {
-		sched := disk.NewScheduler(dsk, disk.CLook)
-		for i := range players {
-			p := players[i]
-			if cfg.PausedFraction > 0 {
-				// Interactive service: skip IOs for streams already
-				// holding two cycles of data (paused, or just resumed) —
-				// two cycles, because a resumed stream's next fill can be
-				// almost a full cycle away. The reclaimed slots are the
-				// bandwidth interactive servers redistribute.
-				p.drainTo(eng.Now())
-				if p.buf.Level() >= 2*plan.IOSize {
-					continue
-				}
-			}
-			blk := p.pos
-			if blk+ioBlocks > diskBlocks {
-				blk = 0
-			}
-			sched.Enqueue(device.Request{
-				Op: device.Read, Block: blk, Blocks: ioBlocks,
-				Stream: i, Issued: eng.Now(),
-			})
-			p.pos = (blk + ioBlocks) % diskBlocks
-		}
-		// One chain slot per queued request; each slot dispatches the
-		// scheduler's best pending request at its start time.
-		for pending := sched.Len(); pending > 0; pending-- {
-			s := sched
-			diskChain.submit(func(start time.Duration) time.Duration {
-				comp, ok, err := s.Dispatch(start)
-				if err != nil || !ok {
-					return start
-				}
-				p := players[comp.Stream]
-				p.drainTo(comp.Finish)
-				if err := p.buf.Fill(units.Bytes(comp.Blocks) * dsk.Geometry().BlockSize); err != nil {
-					// Pool is unlimited; Fill cannot fail.
-					panic(err)
-				}
-				return comp.Finish
-			})
-		}
-	}
-	for c := int64(0); c < cycles; c++ {
-		c := c
-		eng.Schedule(time.Duration(c)*plan.Cycle, func() { scheduleCycle(c) })
-	}
-	end := time.Duration(cycles) * plan.Cycle
-	eng.Schedule(end, func() {
-		for _, p := range players {
-			p.drainTo(end)
-		}
-	})
-	eng.Run()
-
-	res := Result{
-		Mode:          Direct,
-		Streams:       cfg.N,
-		SimulatedTime: end,
-		Events:        eng.Executed(),
-		Cycles:        cycles,
-		PlannedDRAM:   plan.TotalDRAM,
-		DRAMHighWater: pool.HighWater(),
-		DiskBusy:      dsk.BusyTime(),
-		DiskUtil:      float64(dsk.BusyTime()) / float64(end),
-		DiskIOs:       dsk.Served(),
-		FromDisk:      cfg.N,
-	}
-	for _, p := range players {
-		res.Underflows += p.underflow
-		res.UnderflowBytes += p.deficit
-	}
-	if m, ok := margins.Quantile(0.05); ok {
-		res.MarginP5 = units.Seconds(m)
-	}
-	return res, nil
 }
