@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench repro suite smoke fuzz cover clean
+.PHONY: all build test vet race bench bench-sim bench-record profile repro suite smoke fuzz cover clean
 
 all: build vet test
 
@@ -23,6 +23,27 @@ race:
 # bench regenerates every paper artifact as a testing.B benchmark.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-sim runs only the simulation-kernel microbenchmarks — the set CI
+# compares old-vs-new with benchstat. BENCH_COUNT>1 gives benchstat
+# samples to work with.
+bench-sim:
+	$(GO) test -run '^$$' -bench . -benchmem -count $(or $(BENCH_COUNT),1) ./internal/sim/
+
+# bench-record appends one BENCH_<n>.json point to the kernel performance
+# trajectory (microbenchmarks + per-experiment events/sec).
+bench-record:
+	sh scripts/bench.sh
+
+# profile writes cpu/heap pprof artifacts for the heaviest event-driven
+# experiments (validate and dynamics dominate suite wall time; occupancy
+# is the trace-bearing run), so perf work starts from a flame graph:
+# go tool pprof -http=: profiles/cpu.pprof
+profile:
+	mkdir -p profiles
+	$(GO) run ./cmd/memsbench -run 'validate|dynamics|occupancy' \
+		-cpuprofile profiles/cpu.pprof -memprofile profiles/mem.pprof -out profiles
+	@echo "profiles: profiles/cpu.pprof profiles/mem.pprof"
 
 # repro writes every table/figure to results/ as text artifacts.
 repro:
@@ -51,4 +72,4 @@ cover:
 	sh scripts/cover.sh
 
 clean:
-	rm -rf results
+	rm -rf results profiles

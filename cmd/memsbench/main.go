@@ -8,6 +8,8 @@
 //	memsbench -run 'fig9.*' -csv    # run a family, emit series as CSV
 //	memsbench -out results/         # write each artifact to a file
 //	memsbench -parallel 8 -json m.json  # parallel suite + metrics doc
+//	memsbench -run fig5 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	memsbench -perf perf.json       # per-experiment wall/events-per-sec doc
 package main
 
 import (
@@ -17,6 +19,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"memstream/internal/experiments"
 	"memstream/internal/plot"
@@ -41,8 +45,34 @@ func run(args []string, w io.Writer) error {
 	parallel := fs.Int("parallel", 1, "worker count for the suite (0 = GOMAXPROCS)")
 	seed := fs.Uint64("seed", experiments.DefaultSeed, "root seed; per-experiment seeds derive from it")
 	jsonPath := fs.String("json", "", "write the per-run metrics document to this file")
+	perfPath := fs.String("perf", "", "write the per-experiment performance document to this file")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile taken after the run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC() // settle allocations so the heap profile is steady-state
+			pprof.WriteHeapProfile(f)
+			f.Close()
+		}()
 	}
 
 	if *list {
@@ -94,11 +124,44 @@ func run(args []string, w io.Writer) error {
 		}
 		fmt.Fprintf(w, "metrics: %s (%d runs, wall %v)\n", *jsonPath, len(suite.Runs), suite.Wall.Round(1e6))
 	}
+	if *perfPath != "" {
+		if err := writePerf(*perfPath, suite); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "perf: %s (%d runs)\n", *perfPath, len(suite.Runs))
+	}
 	return nil
 }
 
 func writeMetrics(path string, suite experiments.SuiteReport) error {
 	data, err := json.MarshalIndent(suite, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// perfEntry is one experiment's line in the performance trajectory
+// document scripts/bench.sh assembles into BENCH_<n>.json.
+type perfEntry struct {
+	ID           string  `json:"id"`
+	WallNS       int64   `json:"wall_ns"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// writePerf reduces a suite report to per-experiment throughput numbers.
+// Analytic experiments fire no events and report zero events/sec.
+func writePerf(path string, suite experiments.SuiteReport) error {
+	entries := make([]perfEntry, 0, len(suite.Runs))
+	for _, r := range suite.Runs {
+		e := perfEntry{ID: r.ID, WallNS: int64(r.Wall), Events: r.Events}
+		if r.Wall > 0 {
+			e.EventsPerSec = float64(r.Events) / r.Wall.Seconds()
+		}
+		entries = append(entries, e)
+	}
+	data, err := json.MarshalIndent(entries, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -108,6 +108,65 @@ func TestRunParallelOutputIdentical(t *testing.T) {
 	}
 }
 
+func TestRunPerfDocument(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "perf.json")
+	var out strings.Builder
+	if err := run([]string{"-run", "validate|table1", "-perf", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []struct {
+		ID           string  `json:"id"`
+		WallNS       int64   `json:"wall_ns"`
+		Events       uint64  `json:"events"`
+		EventsPerSec float64 `json:"events_per_sec"`
+	}
+	if err := json.Unmarshal(data, &entries); err != nil {
+		t.Fatalf("perf doc not valid JSON: %v", err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("perf entries = %d, want 2", len(entries))
+	}
+	byID := map[string]float64{}
+	for _, e := range entries {
+		if e.WallNS <= 0 {
+			t.Errorf("%s: wall_ns = %d", e.ID, e.WallNS)
+		}
+		byID[e.ID] = e.EventsPerSec
+	}
+	// validate embeds simulations, so it must report real event throughput;
+	// table1 is analytic and reports zero.
+	if byID["validate"] <= 0 {
+		t.Errorf("validate events_per_sec = %v, want > 0", byID["validate"])
+	}
+	if byID["table1"] != 0 {
+		t.Errorf("table1 events_per_sec = %v, want 0 (analytic)", byID["table1"])
+	}
+}
+
+func TestRunProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out strings.Builder
+	if err := run([]string{"-run", "table1", "-cpuprofile", cpu, "-memprofile", mem}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile missing: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
 func TestRunJSONMetrics(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "metrics.json")

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"memstream/internal/device"
+	"memstream/internal/ring"
 )
 
 // Policy selects the order in which queued requests are serviced.
@@ -37,11 +38,14 @@ func (p Policy) String() string {
 	return fmt.Sprintf("policy(%d)", uint8(p))
 }
 
-// Scheduler orders pending requests for a disk Device.
+// Scheduler orders pending requests for a disk Device. The pending queue
+// is a ring buffer: FCFS dispatch (pick index 0) is O(1) instead of the
+// O(n) slice shift it used to be, and the seek-optimizing policies scan
+// it in arrival order exactly as before.
 type Scheduler struct {
 	dev    *Device
 	policy Policy
-	queue  []device.Request
+	queue  ring.Ring[device.Request]
 }
 
 // NewScheduler wraps dev with the given policy.
@@ -50,18 +54,18 @@ func NewScheduler(dev *Device, policy Policy) *Scheduler {
 }
 
 // Enqueue adds a request to the pending queue.
-func (s *Scheduler) Enqueue(r device.Request) { s.queue = append(s.queue, r) }
+func (s *Scheduler) Enqueue(r device.Request) { s.queue.PushBack(r) }
 
 // Len reports the number of pending requests.
-func (s *Scheduler) Len() int { return len(s.queue) }
+func (s *Scheduler) Len() int { return s.queue.Len() }
 
 func (s *Scheduler) pick() int {
 	switch s.policy {
 	case SSTF:
 		cur := s.dev.cyl
 		best, bestD := 0, int(^uint(0)>>1)
-		for i, r := range s.queue {
-			d := s.dev.Cylinder(r.Block) - cur
+		for i, n := 0, s.queue.Len(); i < n; i++ {
+			d := s.dev.Cylinder(s.queue.At(i).Block) - cur
 			if d < 0 {
 				d = -d
 			}
@@ -74,8 +78,8 @@ func (s *Scheduler) pick() int {
 		cur := s.dev.cyl
 		best, bestD := -1, int(^uint(0)>>1)
 		lowest, lowestCyl := 0, int(^uint(0)>>1)
-		for i, r := range s.queue {
-			c := s.dev.Cylinder(r.Block)
+		for i, n := 0, s.queue.Len(); i < n; i++ {
+			c := s.dev.Cylinder(s.queue.At(i).Block)
 			if c < lowestCyl {
 				lowest, lowestCyl = i, c
 			}
@@ -94,12 +98,10 @@ func (s *Scheduler) pick() int {
 
 // Dispatch services the next request per the policy, starting at now.
 func (s *Scheduler) Dispatch(now time.Duration) (device.Completion, bool, error) {
-	if len(s.queue) == 0 {
+	if s.queue.Len() == 0 {
 		return device.Completion{}, false, nil
 	}
-	i := s.pick()
-	r := s.queue[i]
-	s.queue = append(s.queue[:i], s.queue[i+1:]...)
+	r := s.queue.RemoveAt(s.pick())
 	c, err := s.dev.Service(now, r)
 	if err != nil {
 		return device.Completion{}, false, err
@@ -112,7 +114,7 @@ func (s *Scheduler) Dispatch(now time.Duration) (device.Completion, bool, error)
 func (s *Scheduler) DrainAll(now time.Duration) ([]device.Completion, error) {
 	var out []device.Completion
 	t := now
-	for len(s.queue) > 0 {
+	for s.queue.Len() > 0 {
 		c, ok, err := s.Dispatch(t)
 		if err != nil {
 			return out, err

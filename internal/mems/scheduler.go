@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"memstream/internal/device"
+	"memstream/internal/ring"
 )
 
 // Policy selects the order in which queued requests are serviced.
@@ -36,11 +37,14 @@ func (p Policy) String() string {
 
 // Scheduler orders pending requests for a Device and services them one at a
 // time. It is a pure in-simulation component: Next/Dispatch advance the
-// device's state; the caller owns simulated time.
+// device's state; the caller owns simulated time. The pending queue is a
+// ring buffer: FCFS dispatch (pick index 0) is O(1) instead of the O(n)
+// slice shift it used to be, and the positioning-aware policies scan it
+// in arrival order exactly as before.
 type Scheduler struct {
 	dev    *Device
 	policy Policy
-	queue  []device.Request
+	queue  ring.Ring[device.Request]
 	sweep  int // elevator direction
 }
 
@@ -50,18 +54,18 @@ func NewScheduler(dev *Device, policy Policy) *Scheduler {
 }
 
 // Enqueue adds a request to the pending queue.
-func (s *Scheduler) Enqueue(r device.Request) { s.queue = append(s.queue, r) }
+func (s *Scheduler) Enqueue(r device.Request) { s.queue.PushBack(r) }
 
 // Len reports the number of pending requests.
-func (s *Scheduler) Len() int { return len(s.queue) }
+func (s *Scheduler) Len() int { return s.queue.Len() }
 
 // pick returns the index of the next request to service.
 func (s *Scheduler) pick() int {
 	switch s.policy {
 	case SPTF:
 		best, bestT := 0, time.Duration(1<<62)
-		for i, r := range s.queue {
-			if t := s.dev.SeekTime(r.Block); t < bestT {
+		for i, n := 0, s.queue.Len(); i < n; i++ {
+			if t := s.dev.SeekTime(s.queue.At(i).Block); t < bestT {
 				best, bestT = i, t
 			}
 		}
@@ -70,8 +74,8 @@ func (s *Scheduler) pick() int {
 		cur := s.dev.cyl
 		best, bestD := -1, 1<<31
 		// Prefer the nearest request in the sweep direction.
-		for i, r := range s.queue {
-			d := s.dev.Cylinder(r.Block) - cur
+		for i, n := 0, s.queue.Len(); i < n; i++ {
+			d := s.dev.Cylinder(s.queue.At(i).Block) - cur
 			if s.sweep < 0 {
 				d = -d
 			}
@@ -93,12 +97,10 @@ func (s *Scheduler) pick() int {
 // Dispatch services the next request according to the policy, starting at
 // simulated time now. It reports false when the queue is empty.
 func (s *Scheduler) Dispatch(now time.Duration) (device.Completion, bool, error) {
-	if len(s.queue) == 0 {
+	if s.queue.Len() == 0 {
 		return device.Completion{}, false, nil
 	}
-	i := s.pick()
-	r := s.queue[i]
-	s.queue = append(s.queue[:i], s.queue[i+1:]...)
+	r := s.queue.RemoveAt(s.pick())
 	c, err := s.dev.Service(now, r)
 	if err != nil {
 		return device.Completion{}, false, err
@@ -112,7 +114,7 @@ func (s *Scheduler) Dispatch(now time.Duration) (device.Completion, bool, error)
 func (s *Scheduler) DrainAll(now time.Duration) ([]device.Completion, error) {
 	var out []device.Completion
 	t := now
-	for len(s.queue) > 0 {
+	for s.queue.Len() > 0 {
 		c, ok, err := s.Dispatch(t)
 		if err != nil {
 			return out, err

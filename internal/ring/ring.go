@@ -1,0 +1,96 @@
+// Package ring provides a growable circular FIFO buffer.
+//
+// It replaces the copy-shift queue idiom (`copy(q, q[1:])`) that made
+// every dequeue O(n): PushBack and PopFront are O(1) amortized, and the
+// backing array is reused across the queue's lifetime so a steady-state
+// producer/consumer pair allocates nothing. RemoveAt preserves element
+// order (it shifts the shorter side), so policy schedulers that pick from
+// the middle keep their arrival-order semantics.
+package ring
+
+// Ring is a growable circular FIFO. The zero value is an empty ring ready
+// to use.
+type Ring[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+// Len reports the number of queued elements.
+func (r *Ring[T]) Len() int { return r.n }
+
+// PushBack appends v at the tail.
+func (r *Ring[T]) PushBack(v T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+}
+
+// PopFront removes and returns the head element. It panics on an empty
+// ring, mirroring a slice-index panic in the idiom it replaces.
+func (r *Ring[T]) PopFront() T {
+	if r.n == 0 {
+		panic("ring: PopFront on empty ring")
+	}
+	var zero T
+	v := r.buf[r.head]
+	r.buf[r.head] = zero // release references for GC
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return v
+}
+
+// At returns the i-th element in queue order (0 is the head).
+func (r *Ring[T]) At(i int) T {
+	if i < 0 || i >= r.n {
+		panic("ring: At out of range")
+	}
+	return r.buf[(r.head+i)%len(r.buf)]
+}
+
+// RemoveAt removes and returns the i-th element in queue order,
+// preserving the relative order of the rest. It shifts whichever side of
+// i is shorter, so RemoveAt(0) and RemoveAt(Len()-1) are O(1) and the
+// worst case moves Len()/2 elements.
+func (r *Ring[T]) RemoveAt(i int) T {
+	if i < 0 || i >= r.n {
+		panic("ring: RemoveAt out of range")
+	}
+	m := len(r.buf)
+	v := r.buf[(r.head+i)%m]
+	if i < r.n-i-1 {
+		// Shift [0, i) forward one step, then drop the old head.
+		for j := i; j > 0; j-- {
+			r.buf[(r.head+j)%m] = r.buf[(r.head+j-1)%m]
+		}
+		var zero T
+		r.buf[r.head] = zero
+		r.head = (r.head + 1) % m
+	} else {
+		// Shift (i, n) back one step, then drop the old tail.
+		for j := i; j < r.n-1; j++ {
+			r.buf[(r.head+j)%m] = r.buf[(r.head+j+1)%m]
+		}
+		var zero T
+		r.buf[(r.head+r.n-1)%m] = zero
+	}
+	r.n--
+	return v
+}
+
+// grow doubles the backing array, unwrapping the ring so head returns
+// to index 0.
+func (r *Ring[T]) grow() {
+	c := len(r.buf) * 2
+	if c < 8 {
+		c = 8
+	}
+	buf := make([]T, c)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf = buf
+	r.head = 0
+}

@@ -1,0 +1,141 @@
+package ring
+
+import (
+	"testing"
+)
+
+func TestFIFO(t *testing.T) {
+	var r Ring[int]
+	for i := 0; i < 100; i++ {
+		r.PushBack(i)
+	}
+	if r.Len() != 100 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if v := r.PopFront(); v != i {
+			t.Fatalf("PopFront = %d, want %d", v, i)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d after drain", r.Len())
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	var r Ring[int]
+	// Interleave pushes and pops so head walks around the buffer many
+	// times without growing.
+	next, want := 0, 0
+	for round := 0; round < 1000; round++ {
+		for i := 0; i < 3; i++ {
+			r.PushBack(next)
+			next++
+		}
+		for i := 0; i < 3; i++ {
+			if v := r.PopFront(); v != want {
+				t.Fatalf("round %d: PopFront = %d, want %d", round, v, want)
+			} else {
+				want++
+			}
+		}
+	}
+	if n := len(r.buf); n > 8 {
+		t.Errorf("steady-state ring grew to %d slots, want <= 8", n)
+	}
+}
+
+func TestAt(t *testing.T) {
+	var r Ring[string]
+	r.PushBack("a")
+	r.PushBack("b")
+	r.PushBack("c")
+	r.PopFront()
+	r.PushBack("d") // ring now wraps: b c d
+	for i, want := range []string{"b", "c", "d"} {
+		if got := r.At(i); got != want {
+			t.Errorf("At(%d) = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestRemoveAtPreservesOrder(t *testing.T) {
+	// Remove every position from every fill pattern and compare against a
+	// reference slice model, including wrapped states.
+	for pre := 0; pre < 12; pre++ { // pops before filling, to wrap head
+		for rm := 0; rm < 6; rm++ {
+			var r Ring[int]
+			for i := 0; i < pre; i++ {
+				r.PushBack(-1)
+			}
+			for i := 0; i < pre; i++ {
+				r.PopFront()
+			}
+			ref := []int{}
+			for i := 0; i < 6; i++ {
+				r.PushBack(i)
+				ref = append(ref, i)
+			}
+			got := r.RemoveAt(rm)
+			want := ref[rm]
+			ref = append(ref[:rm], ref[rm+1:]...)
+			if got != want {
+				t.Fatalf("pre=%d RemoveAt(%d) = %d, want %d", pre, rm, got, want)
+			}
+			for i, w := range ref {
+				if v := r.At(i); v != w {
+					t.Fatalf("pre=%d rm=%d: At(%d) = %d, want %d", pre, rm, i, v, w)
+				}
+			}
+			if r.Len() != len(ref) {
+				t.Fatalf("Len = %d, want %d", r.Len(), len(ref))
+			}
+		}
+	}
+}
+
+func TestGrowUnwraps(t *testing.T) {
+	var r Ring[int]
+	for i := 0; i < 5; i++ {
+		r.PushBack(i)
+	}
+	for i := 0; i < 5; i++ {
+		r.PopFront()
+	}
+	// head is mid-buffer; pushing past capacity must unwrap correctly.
+	for i := 0; i < 40; i++ {
+		r.PushBack(i)
+	}
+	for i := 0; i < 40; i++ {
+		if v := r.PopFront(); v != i {
+			t.Fatalf("PopFront = %d, want %d", v, i)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, fn := range map[string]func(r *Ring[int]){
+		"PopFront": func(r *Ring[int]) { r.PopFront() },
+		"At":       func(r *Ring[int]) { r.At(0) },
+		"RemoveAt": func(r *Ring[int]) { r.RemoveAt(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on empty ring did not panic", name)
+				}
+			}()
+			var r Ring[int]
+			fn(&r)
+		}()
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	var r Ring[int]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.PushBack(i)
+		r.PopFront()
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"memstream/internal/disk"
 	"memstream/internal/dram"
 	"memstream/internal/mems"
+	"memstream/internal/ring"
 	"memstream/internal/sim"
 	"memstream/internal/units"
 	"memstream/internal/workload"
@@ -174,15 +175,39 @@ func (r *rig) newChain() *chain { return &chain{eng: r.eng} }
 // cycle's resource sample is taken inside the same engine event right
 // after fn, so attaching the probe changes neither the event calendar nor
 // any Result field.
+//
+// All cycles are scheduled upfront (not self-chained) so that when
+// several loops with different periods share the rig, their tie-break
+// order at coinciding timestamps is fixed by driver setup order — the
+// determinism contract the pinned Result fingerprints enforce. The
+// per-cycle state lives in one contiguous slice and events go through
+// ScheduleArg, so a loop of n cycles costs one allocation instead of a
+// closure per cycle.
 func (r *rig) cycleLoop(source string, period time.Duration, first, n int64, fn func(c int64)) {
+	if n <= 0 {
+		return
+	}
+	calls := make([]cycleCall, n)
 	for c := first; c < first+n; c++ {
-		c := c
-		r.eng.Schedule(time.Duration(c)*period, func() {
-			fn(c)
-			if r.probe != nil {
-				r.probe.sample(source, c)
-			}
-		})
+		cc := &calls[c-first]
+		*cc = cycleCall{r: r, source: source, fn: fn, c: c}
+		r.eng.ScheduleArg(time.Duration(c)*period, runCycleCall, cc)
+	}
+}
+
+// cycleCall is one scheduled cycle of a cycleLoop.
+type cycleCall struct {
+	r      *rig
+	source string
+	fn     func(c int64)
+	c      int64
+}
+
+func runCycleCall(arg any) {
+	cc := arg.(*cycleCall)
+	cc.fn(cc.c)
+	if cc.r.probe != nil {
+		cc.r.probe.sample(cc.source, cc.c)
 	}
 }
 
@@ -253,16 +278,20 @@ func (r *rig) result(mode Mode, end time.Duration, cycles int64) Result {
 // Two priorities exist: real-time items (submit) always run before
 // queued best-effort items (submitLow), which soak up spare bandwidth
 // (§3.1.2) without delaying any already-queued real-time work.
+//
+// Both queues are ring buffers (O(1) dequeue at any depth) and the
+// completion event goes through the kernel's ScheduleArg fast path, so a
+// busy chain's dispatch loop allocates nothing in steady state.
 type chain struct {
 	eng  *sim.Engine
 	busy bool
 	last time.Duration
-	q    []func(start time.Duration) time.Duration
-	low  []func(start time.Duration) time.Duration
+	q    ring.Ring[func(start time.Duration) time.Duration]
+	low  ring.Ring[func(start time.Duration) time.Duration]
 }
 
 func (c *chain) submit(fn func(start time.Duration) time.Duration) {
-	c.q = append(c.q, fn)
+	c.q.PushBack(fn)
 	if !c.busy {
 		c.busy = true
 		c.runNext()
@@ -272,7 +301,7 @@ func (c *chain) submit(fn func(start time.Duration) time.Duration) {
 // submitLow enqueues best-effort work served only when no real-time item
 // is waiting.
 func (c *chain) submitLow(fn func(start time.Duration) time.Duration) {
-	c.low = append(c.low, fn)
+	c.low.PushBack(fn)
 	if !c.busy {
 		c.busy = true
 		c.runNext()
@@ -282,22 +311,23 @@ func (c *chain) submitLow(fn func(start time.Duration) time.Duration) {
 // depth is the number of items pending on the chain, including the one in
 // service — the queue-depth gauge the probe samples.
 func (c *chain) depth() int {
-	n := len(c.q) + len(c.low)
+	n := c.q.Len() + c.low.Len()
 	if c.busy {
 		n++
 	}
 	return n
 }
 
+// chainRunNext is the static ScheduleArg callback driving the chain.
+func chainRunNext(arg any) { arg.(*chain).runNext() }
+
 func (c *chain) runNext() {
 	var fn func(start time.Duration) time.Duration
 	switch {
-	case len(c.q) > 0:
-		fn = c.q[0]
-		c.q = c.q[:copy(c.q, c.q[1:])]
-	case len(c.low) > 0:
-		fn = c.low[0]
-		c.low = c.low[:copy(c.low, c.low[1:])]
+	case c.q.Len() > 0:
+		fn = c.q.PopFront()
+	case c.low.Len() > 0:
+		fn = c.low.PopFront()
 	default:
 		c.busy = false
 		return
@@ -311,7 +341,7 @@ func (c *chain) runNext() {
 		finish = start
 	}
 	c.last = finish
-	c.eng.Schedule(finish-c.eng.Now(), c.runNext)
+	c.eng.ScheduleArg(finish-c.eng.Now(), chainRunNext, c)
 }
 
 // player tracks one stream's playback state. Playback begins at startAt

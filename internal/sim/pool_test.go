@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// Event-pool and tombstone edge cases: the kernel recycles event slots
+// through a free list, so every test here is really about generation
+// counters making stale handles inert.
+
+func TestCancelAfterFire(t *testing.T) {
+	var eng Engine
+	fired := 0
+	ev := eng.Schedule(time.Millisecond, func() { fired++ })
+	eng.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d", fired)
+	}
+	// The slot is back on the free list; Cancel must not resurrect or
+	// corrupt anything.
+	ev.Cancel()
+	ev.Cancel()
+	if eng.Pending() != 0 || eng.Executed() != 1 {
+		t.Errorf("Pending=%d Executed=%d after cancel-after-fire", eng.Pending(), eng.Executed())
+	}
+	// The engine must still schedule and fire normally.
+	eng.Schedule(time.Millisecond, func() { fired++ })
+	eng.Run()
+	if fired != 2 {
+		t.Errorf("engine wedged after cancel-after-fire: fired = %d", fired)
+	}
+}
+
+func TestDoubleCancelKeepsAccountingExact(t *testing.T) {
+	var eng Engine
+	ev := eng.Schedule(time.Millisecond, func() {})
+	keep := eng.Schedule(2*time.Millisecond, func() {})
+	ev.Cancel()
+	if eng.Pending() != 1 {
+		t.Fatalf("Pending = %d after first cancel, want 1", eng.Pending())
+	}
+	// A second cancel must not decrement the live count again.
+	ev.Cancel()
+	if eng.Pending() != 1 {
+		t.Fatalf("Pending = %d after double cancel, want 1", eng.Pending())
+	}
+	keep.Cancel()
+	if eng.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", eng.Pending())
+	}
+	eng.Run()
+	if eng.Executed() != 0 {
+		t.Errorf("Executed = %d, want 0", eng.Executed())
+	}
+}
+
+func TestCancelFromInsideOwnCallback(t *testing.T) {
+	var eng Engine
+	fired := 0
+	var self Event
+	self = eng.Schedule(time.Millisecond, func() {
+		fired++
+		// By the time the callback runs the slot is already recycled;
+		// cancelling yourself must be a generation-mismatch no-op that in
+		// particular cannot tombstone whatever event now occupies the slot.
+		self.Cancel()
+		eng.Schedule(time.Millisecond, func() { fired++ })
+	})
+	eng.Run()
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2 (self-cancel must not kill the successor)", fired)
+	}
+}
+
+func TestStaleHandleAfterSlotRecycle(t *testing.T) {
+	var eng Engine
+	// Fire one event so its slot returns to the free list.
+	stale := eng.Schedule(time.Millisecond, func() {})
+	eng.Run()
+
+	// The next schedule reuses that slot for a different event.
+	fired := false
+	fresh := eng.Schedule(time.Millisecond, func() { fired = true })
+	if fresh.slot != stale.slot {
+		t.Fatalf("expected slot reuse (stale=%d fresh=%d)", stale.slot, fresh.slot)
+	}
+	if fresh.gen == stale.gen {
+		t.Fatal("recycled slot did not bump its generation")
+	}
+
+	// Cancelling through the stale handle must not touch the new tenant.
+	stale.Cancel()
+	if eng.Pending() != 1 {
+		t.Fatalf("stale Cancel killed the new event (Pending = %d)", eng.Pending())
+	}
+	eng.Run()
+	if !fired {
+		t.Error("new tenant of the recycled slot never fired")
+	}
+}
+
+func TestAtSurvivesRecycle(t *testing.T) {
+	var eng Engine
+	ev := eng.Schedule(5*time.Millisecond, func() {})
+	eng.Run()
+	// At is captured in the handle, so it stays correct (and safe) after
+	// the slot has been recycled any number of times.
+	for i := 0; i < 10; i++ {
+		eng.Schedule(time.Millisecond, func() {})
+		eng.Run()
+	}
+	if ev.At() != 5*time.Millisecond {
+		t.Errorf("At = %v after recycle, want 5ms", ev.At())
+	}
+	var zero Event
+	zero.Cancel() // zero handle is inert
+	if zero.At() != 0 {
+		t.Errorf("zero handle At = %v", zero.At())
+	}
+}
+
+// TestRunUntilDeadHeadAtDeadline is the boundary case the lazy-tombstone
+// rewrite must get right: the head of the calendar is a cancelled event
+// at (or before) the deadline, and the next live event lies beyond it.
+// RunUntil must skip the tombstone without firing the live event and
+// without advancing the clock past the deadline.
+func TestRunUntilDeadHeadAtDeadline(t *testing.T) {
+	var eng Engine
+	headFired, lateFired := false, false
+	head := eng.Schedule(3*time.Millisecond, func() { headFired = true })
+	eng.Schedule(5*time.Millisecond, func() { lateFired = true })
+	head.Cancel()
+
+	eng.RunUntil(3 * time.Millisecond)
+	if headFired {
+		t.Error("cancelled head event fired")
+	}
+	if lateFired {
+		t.Error("RunUntil fired an event past the deadline while skipping a dead head")
+	}
+	if eng.Now() != 3*time.Millisecond {
+		t.Errorf("Now = %v, want exactly the 3ms deadline", eng.Now())
+	}
+	if eng.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", eng.Pending())
+	}
+
+	eng.RunUntil(MaxTime)
+	if !lateFired {
+		t.Error("live event never fired")
+	}
+}
+
+// TestCancelHeavyCompaction drives the cancel-dominated workload that
+// forces calendar compaction and checks survivors still fire in order
+// with exact accounting.
+func TestCancelHeavyCompaction(t *testing.T) {
+	var eng Engine
+	const n = 10000
+	var fired []int
+	handles := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		i := i
+		handles = append(handles, eng.Schedule(time.Duration(i)*time.Microsecond, func() {
+			fired = append(fired, i)
+		}))
+	}
+	// Cancel everything not divisible by 97 — enough tombstones to trip
+	// compaction several times over.
+	for i, h := range handles {
+		if i%97 != 0 {
+			h.Cancel()
+		}
+	}
+	want := 0
+	for i := 0; i < n; i += 97 {
+		want++
+	}
+	if eng.Pending() != want {
+		t.Fatalf("Pending = %d, want %d", eng.Pending(), want)
+	}
+	eng.Run()
+	if len(fired) != want {
+		t.Fatalf("fired %d, want %d", len(fired), want)
+	}
+	for j := 1; j < len(fired); j++ {
+		if fired[j-1] >= fired[j] {
+			t.Fatalf("order violated at %d: %d >= %d", j, fired[j-1], fired[j])
+		}
+	}
+	if eng.Executed() != uint64(want) {
+		t.Errorf("Executed = %d, want %d", eng.Executed(), want)
+	}
+}
+
+// TestScheduleArg covers the zero-closure fast path: ordering with
+// Schedule-created events, argument delivery, and cancellation.
+func TestScheduleArg(t *testing.T) {
+	var eng Engine
+	var got []int
+	push := func(arg any) { got = append(got, *arg.(*int)) }
+	one, two, three := 1, 2, 3
+	eng.ScheduleArg(2*time.Millisecond, push, &two)
+	eng.Schedule(3*time.Millisecond, func() { got = append(got, three) })
+	eng.ScheduleArg(time.Millisecond, push, &one)
+	ev := eng.ScheduleArg(time.Millisecond, push, &three)
+	ev.Cancel()
+	eng.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("got %v, want [1 2 3]", got)
+	}
+	// Negative delays clamp like Schedule.
+	fired := false
+	eng.ScheduleArg(-time.Second, func(any) { fired = true }, nil)
+	eng.Run()
+	if !fired {
+		t.Error("negative-delay ScheduleArg event never fired")
+	}
+}

@@ -6,10 +6,16 @@
 // in memstream schedule callbacks on one Engine, so a simulation run is a
 // pure function of its inputs and RNG seed — which is what lets the
 // experiment harness reproduce the paper's figures byte-for-byte.
+//
+// The hot path is allocation-free in steady state: the calendar is a
+// monomorphic 4-ary min-heap of (time, seq, slot) entries, event state
+// lives in a pooled slot arena recycled through a free list, Cancel is a
+// lazy tombstone reclaimed at pop (or by compaction when tombstones
+// outnumber live entries), and ScheduleArg carries a static callback plus
+// a pointer argument so high-frequency call sites need no closure.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -22,58 +28,73 @@ type Time = time.Duration
 // MaxTime is the largest representable simulation time.
 const MaxTime = Time(math.MaxInt64)
 
-// Event is a scheduled callback.
+// Event is a handle to a scheduled callback. It is a small value: copying
+// it is cheap and the zero Event is inert (Cancel and At are no-ops).
+//
+// Handles stay safe after the underlying pooled slot is recycled: each
+// slot carries a generation counter captured into the handle at schedule
+// time, and Cancel on a handle whose generation no longer matches —
+// because the event fired, was cancelled, or the slot now hosts a newer
+// event — is a no-op.
 type Event struct {
-	at     Time
-	seq    uint64
-	fn     func()
-	index  int // heap index; -1 once removed
-	dead   bool
-	engine *Engine
+	eng  *Engine
+	at   Time
+	slot int32
+	gen  uint32
 }
 
-// At returns the time the event fires.
-func (e *Event) At() Time { return e.at }
+// At returns the time the event fires (or fired).
+func (e Event) At() Time { return e.at }
 
 // Cancel removes the event from the calendar. Cancelling an event that has
-// already fired or been cancelled is a no-op.
-func (e *Event) Cancel() {
-	if e == nil || e.dead || e.index < 0 {
-		if e != nil {
-			e.dead = true
-		}
+// already fired or been cancelled — or a stale handle whose pool slot has
+// been recycled for a newer event — is a no-op. Cancellation is a lazy
+// tombstone: the calendar entry is skipped at pop time instead of being
+// removed from the heap, so Cancel is O(1).
+func (e Event) Cancel() {
+	if e.eng == nil {
 		return
 	}
-	e.dead = true
-	heap.Remove(&e.engine.calendar, e.index)
-}
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+	s := &e.eng.slots[e.slot]
+	if s.gen != e.gen || s.dead {
+		return
 	}
-	return h[i].seq < h[j].seq // FIFO among simultaneous events
+	s.dead = true
+	e.eng.live--
+	e.eng.dead++
+	// Keep the calendar bounded under cancel-heavy workloads (deadline
+	// timers that almost never fire): once tombstones outnumber live
+	// entries, sweep them out and re-heapify in one O(n) pass.
+	if e.eng.dead > len(e.eng.cal)/2 && e.eng.dead > 64 {
+		e.eng.compact()
+	}
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index, h[j].index = i, j
+
+// calEntry is one calendar slot: the (time, sequence) ordering key plus
+// the index of the pooled event slot holding the callback. Keeping the key
+// inline means heap sifts never touch the slot arena.
+type calEntry struct {
+	at   Time
+	seq  uint64
+	slot int32
 }
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
+
+// entLess orders entries by time, breaking ties by scheduling sequence so
+// simultaneous events fire FIFO.
+func entLess(a, b calEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+
+// eventSlot is the pooled callback state. Exactly one of fn/afn is set.
+type eventSlot struct {
+	fn   func()
+	afn  func(any)
+	arg  any
+	gen  uint32
+	dead bool
 }
 
 // Engine is the simulation core: a clock plus an event calendar.
@@ -81,9 +102,14 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now      Time
 	seq      uint64
-	calendar eventHeap
 	executed uint64
 	running  bool
+
+	cal   []calEntry  // 4-ary min-heap ordered by (at, seq)
+	slots []eventSlot // event slot arena; cal entries index into it
+	free  []int32     // recycled slot indices
+	live  int         // scheduled, not yet fired or cancelled
+	dead  int         // tombstones still sitting in cal
 }
 
 // Now returns the current simulated time.
@@ -92,14 +118,15 @@ func (e *Engine) Now() Time { return e.now }
 // Executed reports how many events have fired so far.
 func (e *Engine) Executed() uint64 { return e.executed }
 
-// Pending reports how many events are waiting on the calendar.
-func (e *Engine) Pending() int { return len(e.calendar) }
+// Pending reports how many live (un-cancelled, un-fired) events are
+// waiting on the calendar.
+func (e *Engine) Pending() int { return e.live }
 
 // ErrPastEvent is returned by ScheduleAt for events in the simulated past.
 var ErrPastEvent = errors.New("sim: event scheduled in the past")
 
 // Schedule runs fn after delay d (clamped to zero for negative d).
-func (e *Engine) Schedule(d Time, fn func()) *Event {
+func (e *Engine) Schedule(d Time, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
@@ -109,30 +136,183 @@ func (e *Engine) Schedule(d Time, fn func()) *Event {
 
 // ScheduleAt runs fn at absolute time at. Scheduling in the past is an
 // error: device models that compute service times must never go backwards.
-func (e *Engine) ScheduleAt(at Time, fn func()) (*Event, error) {
+func (e *Engine) ScheduleAt(at Time, fn func()) (Event, error) {
 	if at < e.now {
-		return nil, fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, e.now)
+		return Event{}, fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, e.now)
 	}
+	slot := e.allocSlot()
+	e.slots[slot].fn = fn
+	return e.enqueue(at, slot), nil
+}
+
+// ScheduleArg runs fn(arg) after delay d (clamped to zero for negative d).
+// It is the zero-closure fast path for high-frequency call sites: fn is
+// typically a static function and arg a pointer to long-lived state, so
+// scheduling allocates nothing.
+func (e *Engine) ScheduleArg(d Time, fn func(any), arg any) Event {
+	if d < 0 {
+		d = 0
+	}
+	slot := e.allocSlot()
+	s := &e.slots[slot]
+	s.afn, s.arg = fn, arg
+	return e.enqueue(e.now+d, slot)
+}
+
+// enqueue assigns the next sequence number and pushes slot onto the heap.
+func (e *Engine) enqueue(at Time, slot int32) Event {
 	e.seq++
-	ev := &Event{at: at, seq: e.seq, fn: fn, engine: e}
-	heap.Push(&e.calendar, ev)
-	return ev, nil
+	e.push(calEntry{at: at, seq: e.seq, slot: slot})
+	e.live++
+	return Event{eng: e, at: at, slot: slot, gen: e.slots[slot].gen}
+}
+
+// allocSlot returns a free slot index, growing the arena when the free
+// list is empty.
+func (e *Engine) allocSlot() int32 {
+	if n := len(e.free); n > 0 {
+		s := e.free[n-1]
+		e.free = e.free[:n-1]
+		return s
+	}
+	e.slots = append(e.slots, eventSlot{})
+	return int32(len(e.slots) - 1)
+}
+
+// freeSlot recycles a slot: the generation bump invalidates every
+// outstanding handle to the old event, and clearing the callback fields
+// releases whatever they referenced.
+func (e *Engine) freeSlot(i int32) {
+	s := &e.slots[i]
+	s.fn, s.afn, s.arg = nil, nil, nil
+	s.dead = false
+	s.gen++
+	e.free = append(e.free, i)
+}
+
+// --- 4-ary min-heap over calEntry ---
+//
+// A 4-ary layout halves the tree depth of a binary heap; the extra sibling
+// comparisons at each level are cheap (contiguous entries, one cache line)
+// while each level descended is a dependent load. Children of i are
+// 4i+1..4i+4, parent is (i-1)/4.
+
+func (e *Engine) push(ent calEntry) {
+	e.cal = append(e.cal, ent)
+	i := len(e.cal) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !entLess(ent, e.cal[p]) {
+			break
+		}
+		e.cal[i] = e.cal[p]
+		i = p
+	}
+	e.cal[i] = ent
+}
+
+// popHead removes cal[0], restoring the heap property.
+func (e *Engine) popHead() {
+	n := len(e.cal) - 1
+	e.cal[0] = e.cal[n]
+	e.cal = e.cal[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
+}
+
+// compact sweeps tombstoned entries out of the calendar and re-heapifies.
+// Pop order is unchanged: live (at, seq) keys are untouched and dead
+// entries would have been skipped anyway.
+func (e *Engine) compact() {
+	w := 0
+	for _, ent := range e.cal {
+		if e.slots[ent.slot].dead {
+			e.freeSlot(ent.slot)
+			continue
+		}
+		e.cal[w] = ent
+		w++
+	}
+	e.cal = e.cal[:w]
+	e.dead = 0
+	for i := (w - 2) / 4; i >= 0; i-- {
+		e.siftDown(i)
+	}
+}
+
+// siftDown restores the heap property below i.
+func (e *Engine) siftDown(i int) {
+	n := len(e.cal)
+	ent := e.cal[i]
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if entLess(e.cal[j], e.cal[best]) {
+				best = j
+			}
+		}
+		if !entLess(e.cal[best], ent) {
+			break
+		}
+		e.cal[i] = e.cal[best]
+		i = best
+	}
+	e.cal[i] = ent
+}
+
+// skim discards tombstoned entries from the head of the calendar, so the
+// head — if any — is live. Dead-event skipping happens here, once, for
+// every run loop.
+func (e *Engine) skim() {
+	for len(e.cal) > 0 {
+		ent := e.cal[0]
+		if !e.slots[ent.slot].dead {
+			return
+		}
+		e.popHead()
+		e.freeSlot(ent.slot)
+		e.dead--
+	}
+}
+
+// fireHead pops and fires the live head entry. The slot is recycled before
+// the callback runs, so a handle to the firing event is already stale
+// inside its own callback (cancel-self is a no-op) and the slot may host a
+// new event scheduled by the callback.
+func (e *Engine) fireHead() {
+	ent := e.cal[0]
+	e.popHead()
+	s := &e.slots[ent.slot]
+	fn, afn, arg := s.fn, s.afn, s.arg
+	e.freeSlot(ent.slot)
+	e.live--
+	e.now = ent.at
+	e.executed++
+	if afn != nil {
+		afn(arg)
+	} else {
+		fn()
+	}
 }
 
 // Step fires the next event, advancing the clock. It reports whether an
 // event was available.
 func (e *Engine) Step() bool {
-	for len(e.calendar) > 0 {
-		ev := heap.Pop(&e.calendar).(*Event)
-		if ev.dead {
-			continue
-		}
-		e.now = ev.at
-		e.executed++
-		ev.fn()
-		return true
+	e.skim()
+	if len(e.cal) == 0 {
+		return false
 	}
-	return false
+	e.fireHead()
+	return true
 }
 
 // Run fires events until the calendar is empty.
@@ -144,11 +324,18 @@ func (e *Engine) Run() {
 }
 
 // RunUntil fires events with timestamps at or before deadline, then advances
-// the clock to deadline (if it has not passed it already).
+// the clock to deadline (if it has not passed it already). A cancelled
+// event at the head of the calendar never carries the run past the
+// deadline: tombstones are skimmed before the deadline check, so the
+// decision to fire is always made against a live event.
 func (e *Engine) RunUntil(deadline Time) {
 	e.running = true
-	for e.running && len(e.calendar) > 0 && e.calendar[0].at <= deadline {
-		e.Step()
+	for e.running {
+		e.skim()
+		if len(e.cal) == 0 || e.cal[0].at > deadline {
+			break
+		}
+		e.fireHead()
 	}
 	e.running = false
 	if e.now < deadline {

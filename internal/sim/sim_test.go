@@ -163,7 +163,7 @@ func TestFIFOSurvivesCancellationMidRunUntil(t *testing.T) {
 	for trial := 0; trial < 100; trial++ {
 		const n = 40
 		eng := &Engine{}
-		events := make([]*Event, n)
+		events := make([]Event, n)
 		times := make([]Time, n)
 		cancels := make([][]int, n)
 		for i := 0; i < n; i++ {

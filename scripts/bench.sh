@@ -1,0 +1,69 @@
+#!/bin/sh
+# bench.sh — record one point on the kernel performance trajectory.
+#
+# Runs the internal/sim microbenchmark suite and a full experiment suite,
+# then emits BENCH_<n>.json (n = first unused index, so the checked-in
+# files form an append-only trajectory):
+#
+#   {
+#     "schema": "bench/v1",
+#     "recorded": "<UTC timestamp>",
+#     "go": "<toolchain>",
+#     "microbench": [ {"name", "ns_per_op", "bytes_per_op", "allocs_per_op"} ],
+#     "experiments": [ {"id", "wall_ns", "events", "events_per_sec"} ]
+#   }
+#
+# Knobs (environment):
+#   BENCH_DIR      output directory (default: repo root)
+#   BENCH_PATTERN  -bench regexp for the microbenchmarks (default: .)
+#   BENCH_TIME     -benchtime (default: 1s)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT_DIR="${BENCH_DIR:-.}"
+n=0
+while [ -e "$OUT_DIR/BENCH_${n}.json" ]; do n=$((n + 1)); done
+OUT="$OUT_DIR/BENCH_${n}.json"
+
+TMP_BENCH="$(mktemp)"
+TMP_PERF="$(mktemp)"
+TMP_ART="$(mktemp -d)"
+trap 'rm -rf "$TMP_BENCH" "$TMP_PERF" "$TMP_ART"' EXIT
+
+echo "bench: internal/sim microbenchmarks" >&2
+go test -run '^$' -bench "${BENCH_PATTERN:-.}" -benchmem \
+    -benchtime "${BENCH_TIME:-1s}" ./internal/sim/ | tee "$TMP_BENCH" >&2
+
+echo "bench: experiment suite (memsbench -perf)" >&2
+go run ./cmd/memsbench -parallel 1 -perf "$TMP_PERF" -out "$TMP_ART" >/dev/null
+
+{
+    printf '{\n'
+    printf '  "schema": "bench/v1",\n'
+    printf '  "recorded": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    printf '  "go": "%s",\n' "$(go env GOVERSION)"
+    printf '  "microbench": [\n'
+    awk '
+        /^Benchmark/ {
+            name = $1
+            sub(/-[0-9]+$/, "", name)
+            ns = "null"; bytes = "null"; allocs = "null"
+            for (i = 2; i < NF; i++) {
+                if ($(i + 1) == "ns/op") ns = $i
+                if ($(i + 1) == "B/op") bytes = $i
+                if ($(i + 1) == "allocs/op") allocs = $i
+            }
+            if (count++) printf(",\n")
+            printf("    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns, bytes, allocs)
+        }
+        END { printf("\n") }
+    ' "$TMP_BENCH"
+    printf '  ],\n'
+    printf '  "experiments": '
+    # Indent the perf array two spaces so the merged document stays readable.
+    sed -e '1!s/^/  /' "$TMP_PERF"
+    printf '}\n'
+} >"$OUT"
+
+echo "bench: wrote $OUT" >&2

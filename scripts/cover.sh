@@ -1,13 +1,16 @@
 #!/bin/sh
-# cover.sh — statement coverage with a floor on internal/server.
+# cover.sh — statement coverage with per-package floors.
 #
 # The run-core refactor concentrated the simulation drivers' shared
-# machinery in internal/server; this gate keeps its tests honest. The
-# floor sits ~10 points below measured coverage (89.8% when introduced)
-# so routine changes don't trip it while a dropped test suite does.
+# machinery in internal/server, and the allocation-free kernel rewrite
+# made internal/sim the correctness keystone every Result depends on;
+# these gates keep both test suites honest. Floors sit below measured
+# coverage (89.8% server / 98.3% sim when introduced) so routine changes
+# don't trip them while a dropped test suite does.
 set -eu
 
 FLOOR="${COVER_FLOOR:-80.0}"
+SIM_FLOOR="${COVER_FLOOR_SIM:-90.0}"
 PROFILE="$(mktemp)"
 trap 'rm -f "$PROFILE"' EXIT
 
@@ -15,12 +18,20 @@ echo "cover: full repo"
 go test -coverprofile="$PROFILE" ./...
 go tool cover -func="$PROFILE" | tail -1
 
-echo "cover: internal/server floor ${FLOOR}%"
-go test -coverprofile="$PROFILE" ./internal/server/ >/dev/null
-TOTAL="$(go tool cover -func="$PROFILE" | awk '/^total:/ {sub(/%/, "", $3); print $3}')"
-echo "cover: internal/server ${TOTAL}%"
-if awk -v t="$TOTAL" -v f="$FLOOR" 'BEGIN { exit !(t < f) }'; then
-    echo "cover: internal/server coverage ${TOTAL}% is below the ${FLOOR}% floor" >&2
-    exit 1
-fi
+# check <pkg> <floor>: enforce a statement-coverage floor on one package.
+check() {
+    pkg="$1"
+    floor="$2"
+    echo "cover: $pkg floor ${floor}%"
+    go test -coverprofile="$PROFILE" "./$pkg/" >/dev/null
+    total="$(go tool cover -func="$PROFILE" | awk '/^total:/ {sub(/%/, "", $3); print $3}')"
+    echo "cover: $pkg ${total}%"
+    if awk -v t="$total" -v f="$floor" 'BEGIN { exit !(t < f) }'; then
+        echo "cover: $pkg coverage ${total}% is below the ${floor}% floor" >&2
+        exit 1
+    fi
+}
+
+check internal/server "$FLOOR"
+check internal/sim "$SIM_FLOOR"
 echo "cover: OK"
