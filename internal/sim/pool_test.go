@@ -194,6 +194,37 @@ func TestCancelHeavyCompaction(t *testing.T) {
 	}
 }
 
+// TestCancelAllCompaction cancels every scheduled event so the compaction
+// sweep triggered by Cancel runs with zero survivors — a regression test
+// for the heapify loop indexing an empty calendar.
+func TestCancelAllCompaction(t *testing.T) {
+	var eng Engine
+	const n = 65 // > the 64-tombstone compaction floor
+	handles := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		handles = append(handles, eng.Schedule(time.Duration(i)*time.Microsecond, func() {
+			t.Error("cancelled event fired")
+		}))
+	}
+	for _, h := range handles {
+		h.Cancel()
+	}
+	if eng.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", eng.Pending())
+	}
+	eng.Run()
+	if eng.Executed() != 0 {
+		t.Errorf("Executed = %d, want 0", eng.Executed())
+	}
+	// The calendar must still be usable after an all-tombstone sweep.
+	fired := false
+	eng.Schedule(time.Microsecond, func() { fired = true })
+	eng.Run()
+	if !fired {
+		t.Error("event scheduled after full compaction never fired")
+	}
+}
+
 // TestScheduleArg covers the zero-closure fast path: ordering with
 // Schedule-created events, argument delivery, and cancellation.
 func TestScheduleArg(t *testing.T) {

@@ -236,8 +236,10 @@ func (e *Engine) compact() {
 	}
 	e.cal = e.cal[:w]
 	e.dead = 0
-	for i := (w - 2) / 4; i >= 0; i-- {
-		e.siftDown(i)
+	if w > 1 {
+		for i := (w - 2) / 4; i >= 0; i-- {
+			e.siftDown(i)
+		}
 	}
 }
 
