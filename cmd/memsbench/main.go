@@ -10,6 +10,7 @@
 //	memsbench -parallel 8 -json m.json  # parallel suite + metrics doc
 //	memsbench -run fig5 -cpuprofile cpu.pprof -memprofile mem.pprof
 //	memsbench -perf perf.json       # per-experiment wall/events-per-sec doc
+//	memsbench -run shardscale -shards 8  # sharded experiment on 8 goroutines
 package main
 
 import (
@@ -43,6 +44,7 @@ func run(args []string, w io.Writer) error {
 	csv := fs.Bool("csv", false, "append CSV series data to plot experiments")
 	out := fs.String("out", "", "write artifacts to this directory instead of stdout")
 	parallel := fs.Int("parallel", 1, "worker count for the suite (0 = GOMAXPROCS)")
+	shards := fs.Int("shards", 1, "shard goroutine count for sharded experiments (artifacts are byte-identical at any value)")
 	seed := fs.Uint64("seed", experiments.DefaultSeed, "root seed; per-experiment seeds derive from it")
 	jsonPath := fs.String("json", "", "write the per-run metrics document to this file")
 	perfPath := fs.String("perf", "", "write the per-experiment performance document to this file")
@@ -51,6 +53,7 @@ func run(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	experiments.SetShardWorkers(*shards)
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

@@ -13,6 +13,7 @@
 //	memsim -replay trace.txt -device g3             # replay a saved trace
 //	memsim -experiments -parallel 8 -json m.json    # parallel experiment suite
 //	memsim -experiments -run 'fig9.*' -out results  # a family, artifacts to files
+//	memsim -scale 1000000 -shards 8 -json s.json    # sharded scaling scenario
 package main
 
 import (
@@ -30,6 +31,7 @@ import (
 	"memstream/internal/mems"
 	"memstream/internal/model"
 	"memstream/internal/server"
+	"memstream/internal/shard"
 	"memstream/internal/sim"
 	"memstream/internal/trace"
 	"memstream/internal/units"
@@ -53,7 +55,11 @@ func main() {
 	exp := flag.Bool("experiments", false, "run the experiment suite instead of a device trace")
 	runPat := flag.String("run", "", "with -experiments: run experiments matching this anchored regexp (default: all)")
 	parallel := flag.Int("parallel", 0, "with -experiments: worker count (0 = GOMAXPROCS)")
-	jsonPath := flag.String("json", "", "with -experiments: write the per-run metrics document to this file")
+	jsonPath := flag.String("json", "", "with -experiments or -scale: write the JSON document to this file")
+	shards := flag.Int("shards", 1, "shard goroutine count for -experiments and -scale (results are byte-identical at any value)")
+	scale := flag.Int("scale", 0, "run the sharded scaling scenario with this many total streams")
+	scalePer := flag.Int("scale-per", 4096, "with -scale: streams per partition (the unit of determinism)")
+	scaleRate := flag.String("scale-rate", "10KB", "with -scale: per-stream bit rate")
 	outDir := flag.String("out", "", "with -experiments: write artifact text files to this directory")
 	simMode := flag.String("sim", "", "run one server simulation with per-cycle tracing: direct, edf, buffered, cached, hybrid")
 	simStreams := flag.Int("streams", 0, "with -sim: concurrent streams (0 = mode default)")
@@ -61,8 +67,15 @@ func main() {
 	tracePath := flag.String("trace", "", "with -sim: write the trace JSON document to this file (default stdout)")
 	flag.Parse()
 
+	experiments.SetShardWorkers(*shards)
 	if *exp {
 		if err := runExperiments(*runPat, *seed, *parallel, *jsonPath, *outDir, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *scale > 0 {
+		if err := runScale(*scale, *scalePer, *scaleRate, *seed, *shards, *jsonPath, os.Stdout); err != nil {
 			fatal(err)
 		}
 		return
@@ -287,6 +300,101 @@ func runExperiments(pattern string, rootSeed uint64, parallel int, jsonPath, out
 		return fmt.Errorf("%d of %d experiments failed", n, len(suite.Runs))
 	}
 	return nil
+}
+
+// scaleDoc is the JSON document -scale emits: the scenario identity, the
+// deterministic merged counters (byte-identical at any -shards value), and
+// the execution figures (wall clock and per-shard rates, which are not).
+// scripts/bench.sh folds this into the BENCH_<n>.json "scaling" array.
+type scaleDoc struct {
+	Plan       string `json:"plan"`
+	Streams    int    `json:"streams"`
+	Partitions int    `json:"partitions"`
+	Shards     int    `json:"shards"`
+	Seed       uint64 `json:"seed"`
+
+	Events        uint64        `json:"events"`
+	Cycles        int64         `json:"cycles"`
+	Underflows    int           `json:"underflows"`
+	SimulatedTime time.Duration `json:"simulated_ns"`
+
+	WallNS int64 `json:"wall_ns"`
+	// EventsPerSec is end-to-end: merged events over total wall clock.
+	EventsPerSec float64 `json:"events_per_sec"`
+	// AggregateEventsPerSec sums the per-shard uncontended rates — the
+	// capacity figure once the host has a core per shard (see DESIGN.md).
+	AggregateEventsPerSec float64       `json:"aggregate_events_per_sec"`
+	Stripes               []stripeEntry `json:"stripes"`
+}
+
+// stripeEntry is one shard goroutine's execution record.
+type stripeEntry struct {
+	Shard        int     `json:"shard"`
+	Parts        int     `json:"parts"`
+	Events       uint64  `json:"events"`
+	WallNS       int64   `json:"wall_ns"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// runScale runs the uniform sharded scaling scenario: total streams in
+// partitions of per, each partition an independent direct-mode server,
+// striped across shard goroutines. The merged summary printed to w is
+// byte-identical at any shard count; the JSON document additionally
+// records the shard-dependent execution figures.
+func runScale(total, per int, rateStr string, seed uint64, shards int, jsonPath string, w io.Writer) error {
+	rate := 10 * units.KBPS
+	if rateStr != "" {
+		b, err := units.ParseBytes(rateStr)
+		if err != nil {
+			return fmt.Errorf("bad -scale-rate: %w", err)
+		}
+		rate = units.ByteRate(b)
+	}
+	plan, err := shard.Uniform(total, per, rate, 0)
+	if err != nil {
+		return err
+	}
+	rep, err := shard.Run(plan, seed, shards)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "plan %s: %d partitions, root seed %d\n", rep.Plan, rep.Partitions, rep.RootSeed)
+	fmt.Fprint(w, rep.Merged.Render())
+	fmt.Fprintf(w, "shards=%d wall=%v events_per_sec=%.0f aggregate_events_per_sec=%.0f\n",
+		rep.Shards, rep.Wall.Round(time.Millisecond),
+		rep.WallEventsPerSec(), rep.AggregateEventsPerSec())
+
+	if jsonPath == "" {
+		return nil
+	}
+	doc := scaleDoc{
+		Plan:       rep.Plan,
+		Streams:    rep.Merged.Streams,
+		Partitions: rep.Partitions,
+		Shards:     rep.Shards,
+		Seed:       rep.RootSeed,
+
+		Events:        rep.Merged.Events,
+		Cycles:        rep.Merged.Cycles,
+		Underflows:    rep.Merged.Underflows,
+		SimulatedTime: rep.Merged.SimulatedTime,
+
+		WallNS:                int64(rep.Wall),
+		EventsPerSec:          rep.WallEventsPerSec(),
+		AggregateEventsPerSec: rep.AggregateEventsPerSec(),
+	}
+	for _, s := range rep.Stripe {
+		doc.Stripes = append(doc.Stripes, stripeEntry{
+			Shard: s.Shard, Parts: s.Parts, Events: s.Events,
+			WallNS: int64(s.Wall), EventsPerSec: s.EventsPerSec(),
+		})
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(jsonPath, append(data, '\n'), 0o644)
 }
 
 // traceDoc is the JSON document -sim emits: the run's identity, its

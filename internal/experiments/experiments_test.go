@@ -12,7 +12,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"ablation-devcache", "ablation-edf", "ablation-gss", "ablation-layout", "ablation-routing", "array", "besteffort", "dynamics",
 		"fig10", "fig2", "fig4", "fig5", "fig6", "fig7a", "fig7b",
-		"fig8", "fig9-zipf", "fig9a", "fig9b", "generations", "hybrid", "occupancy", "sens", "table1", "table2", "table3", "validate", "year2002",
+		"fig8", "fig9-zipf", "fig9a", "fig9b", "generations", "hybrid", "occupancy", "sens", "shardscale", "table1", "table2", "table3", "validate", "year2002",
 	}
 	got := IDs()
 	if len(got) != len(want) {

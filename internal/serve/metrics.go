@@ -62,6 +62,23 @@ func (m *Metrics) lagSamples() uint64 {
 	return m.lag.N()
 }
 
+// lagSnapshot reads the sample count and the rendered quantiles under one
+// lock acquisition, so a METRICS line never mixes the count from before a
+// concurrent ObserveLag with quantiles from after it (a torn line such as
+// lag_samples=0 alongside a nonzero lag_p50_ms).
+func (m *Metrics) lagSnapshot(qs []float64) (n uint64, vals []float64) {
+	vals = make([]float64, len(qs))
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n = m.lag.N()
+	for i, q := range qs {
+		if v, ok := m.lag.Quantile(q); ok {
+			vals[i] = v
+		}
+	}
+	return n, vals
+}
+
 // Line renders the expvar-style single-line METRICS response body:
 // space-separated key=value pairs, stable key order. admitted is the
 // current admission-controller gauge, passed in by the server because
@@ -79,16 +96,11 @@ func (m *Metrics) Line(admitted int) string {
 	fmt.Fprintf(&b, " completed=%d", m.Completed.Load())
 	fmt.Fprintf(&b, " evicted=%d", m.Evicted.Load())
 	fmt.Fprintf(&b, " bytes_out=%d", m.BytesOut.Load())
-	fmt.Fprintf(&b, " lag_samples=%d", m.lagSamples())
-	for _, q := range [...]struct {
-		name string
-		q    float64
-	}{{"lag_p50_ms", 0.50}, {"lag_p95_ms", 0.95}, {"lag_p99_ms", 0.99}} {
-		v, ok := m.LagQuantile(q.q)
-		if !ok {
-			v = 0
-		}
-		fmt.Fprintf(&b, " %s=%.3f", q.name, v*1e3)
+	names := [...]string{"lag_p50_ms", "lag_p95_ms", "lag_p99_ms"}
+	n, vals := m.lagSnapshot([]float64{0.50, 0.95, 0.99})
+	fmt.Fprintf(&b, " lag_samples=%d", n)
+	for i, name := range names {
+		fmt.Fprintf(&b, " %s=%.3f", name, vals[i]*1e3)
 	}
 	return b.String()
 }

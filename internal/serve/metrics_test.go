@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// parseLine splits a METRICS line into its key=value pairs.
+func parseLine(t *testing.T, line string) map[string]string {
+	t.Helper()
+	kv := map[string]string{}
+	for _, f := range strings.Fields(line) {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			t.Fatalf("malformed field %q in %q", f, line)
+		}
+		kv[k] = v
+	}
+	return kv
+}
+
+func TestMetricsLineKeysAndZeroQuantiles(t *testing.T) {
+	m := newMetrics(1)
+	kv := parseLine(t, m.Line(3))
+	if kv["admitted"] != "3" {
+		t.Errorf("admitted = %q, want 3", kv["admitted"])
+	}
+	if kv["lag_samples"] != "0" {
+		t.Errorf("lag_samples = %q, want 0", kv["lag_samples"])
+	}
+	for _, k := range []string{"lag_p50_ms", "lag_p95_ms", "lag_p99_ms"} {
+		if kv[k] != "0.000" {
+			t.Errorf("%s = %q, want 0.000 with no samples", k, kv[k])
+		}
+	}
+}
+
+// TestMetricsLineNotTorn is the regression test for a torn METRICS line:
+// Line used to read lag_samples and each quantile under separate lock
+// acquisitions, so a concurrent ObserveLag could land between them and
+// produce lag_samples=0 alongside a nonzero lag_p50_ms. With the
+// single-lock snapshot that combination is impossible. Run under -race
+// this also proves the snapshot path is properly locked.
+func TestMetricsLineNotTorn(t *testing.T) {
+	m := newMetrics(1)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					m.ObserveLag(float64(w*1000+i) * 1e-3)
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		kv := parseLine(t, m.Line(0))
+		n, err := strconv.ParseUint(kv["lag_samples"], 10, 64)
+		if err != nil {
+			t.Fatalf("bad lag_samples %q: %v", kv["lag_samples"], err)
+		}
+		for _, k := range []string{"lag_p50_ms", "lag_p95_ms", "lag_p99_ms"} {
+			v, err := strconv.ParseFloat(kv[k], 64)
+			if err != nil {
+				t.Fatalf("bad %s %q: %v", k, kv[k], err)
+			}
+			if n == 0 && v != 0 {
+				t.Fatalf("torn line: lag_samples=0 but %s=%v", k, v)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -68,10 +68,17 @@ func newRig(cfg Config) (*rig, error) {
 	eng := &sim.Engine{}
 	pool := dram.NewPool(0)
 	rng := sim.NewRNG(cfg.Seed)
+	// The generator seed is drawn unconditionally — even when a shard-local
+	// population is injected — so the rig consumes the run RNG identically
+	// on both paths and the shaping splits downstream see the same stream.
 	gen := workload.NewGenerator(cat, rng.Uint64())
-	set, err := gen.Draw(cfg.N)
-	if err != nil {
-		return nil, err
+	set := cfg.Population
+	if set == nil {
+		var err error
+		set, err = gen.DrawRange(cfg.FirstStreamID, cfg.N)
+		if err != nil {
+			return nil, err
+		}
 	}
 	r := &rig{
 		cfg: cfg, eng: eng, pool: pool, rng: rng, dsk: dsk, cat: cat, set: set,

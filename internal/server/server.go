@@ -78,6 +78,20 @@ type Config struct {
 	Titles  int            // catalog size
 	X, Y    float64        // popularity distribution (Cached draws titles by it)
 
+	// FirstStreamID offsets the IDs of the drawn stream population. A
+	// sharded run (internal/shard) gives every partition a disjoint ID
+	// range so the merged population has globally unique stream IDs; the
+	// default 0 reproduces the historical single-run numbering.
+	FirstStreamID int
+
+	// Population, when non-nil, is a shard-local stream slice the rig
+	// serves instead of drawing its own: exactly N pre-drawn streams whose
+	// Titles must come from a catalog laid out like this config's (same
+	// Titles/BitRate/block size). The run RNG is consumed identically
+	// either way, so a run with an injected population differing only in
+	// draw order stays comparable with a self-drawn one.
+	Population *workload.Set
+
 	// UseEDF switches the Direct architecture from time-cycle scheduling
 	// to earliest-deadline-first — the baseline scheduler class the
 	// paper's related work contrasts (Daigle & Strosnider).
@@ -215,6 +229,13 @@ func validate(cfg *Config) error {
 	}
 	if cfg.Writers > 0 && cfg.Mode != Buffered {
 		return fmt.Errorf("server: write streams are supported in the buffered pipeline only")
+	}
+	if cfg.FirstStreamID < 0 {
+		return fmt.Errorf("server: negative first stream ID %d", cfg.FirstStreamID)
+	}
+	if cfg.Population != nil && len(cfg.Population.Streams) != cfg.N {
+		return fmt.Errorf("server: population has %d streams, config wants N=%d",
+			len(cfg.Population.Streams), cfg.N)
 	}
 	return nil
 }

@@ -1,0 +1,285 @@
+// Package shard scales the single-threaded simulation kernel to multiple
+// cores by partitioning a large run into independent sub-simulations.
+//
+// The unit of determinism is the partition: a scenario fixes how many
+// partitions it has and what each one simulates, every partition gets its
+// own sim.Engine (inside its own server rig) and a seed that is a pure
+// function of (rootSeed, partition index) — the same RNG.Split discipline
+// the experiment suite uses for per-experiment seeds. The unit of
+// parallelism is the shard: Run spawns one goroutine per shard, stripes
+// partitions across them (partition p belongs to shard p mod shards), and
+// gates execution at GOMAXPROCS so each running partition owns a core.
+//
+// Because partition results depend only on (rootSeed, partition) and the
+// merge folds them in partition order, the merged Result — and any
+// artifact rendered from it — is byte-identical at every shard count; the
+// shard count only chooses how much hardware the run uses. CI enforces
+// this with a -shards=1 vs -shards=8 artifact diff, the same way it pins
+// the experiment suite's worker-count independence.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"time"
+
+	"memstream/internal/server"
+	"memstream/internal/sim"
+	"memstream/internal/units"
+)
+
+// Plan describes a sharded run: a fixed number of independent partitions
+// and a builder that yields each partition's server configuration.
+type Plan struct {
+	Name string
+
+	// Partitions is the number of independent sub-simulations. It is part
+	// of the scenario — changing it changes the system being simulated —
+	// and is deliberately decoupled from the shard count, which only
+	// changes how the work is executed.
+	Partitions int
+
+	// Build returns partition part's server configuration. The runner
+	// overwrites Config.Seed with the partition seed it passes in, so a
+	// builder can derive auxiliary parameters from seed but cannot
+	// accidentally correlate partitions.
+	Build func(part int, seed uint64) (server.Config, error)
+}
+
+// SeedFor derives partition part's seed from the root seed: FNV-1a over
+// the partition key feeds an RNG.Split, so the seed is a pure function of
+// (rootSeed, part) — independent of shard count, execution order, and
+// every other partition. This mirrors the experiment suite's seedFor
+// discipline (keyed there by experiment ID).
+func SeedFor(rootSeed uint64, part int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "shard/%d", part)
+	return sim.NewRNG(rootSeed ^ h.Sum64()).Split().Uint64()
+}
+
+// PartReport is one partition's run record.
+type PartReport struct {
+	Part  int
+	Shard int // the goroutine stripe that executed it: Part mod shards
+	Seed  uint64
+	Wall  time.Duration // wall clock of the partition's server.Run
+	Err   string
+
+	// Result is the partition's simulation outcome; zero when Err is set.
+	Result server.Result
+}
+
+// ShardReport aggregates one shard goroutine's execution: the partitions
+// it ran, the events they fired, and the wall clock it spent simulating
+// (the sum of its partitions' walls, which excludes time spent waiting
+// for a core).
+type ShardReport struct {
+	Shard  int
+	Parts  int
+	Events uint64
+	Wall   time.Duration
+}
+
+// EventsPerSec is this shard's simulation rate over its busy time.
+func (s ShardReport) EventsPerSec() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Events) / s.Wall.Seconds()
+}
+
+// Result is the deterministic merge of every partition's server.Result.
+// Counters sum; SimulatedTime is the longest partition horizon (the
+// partitions run concurrently in the modeled system); DRAMHighWater sums
+// because the partitions' footprints coexist; MeanDiskUtil averages the
+// per-partition disk utilizations; WorstMarginP5 is the smallest
+// 5th-percentile delivery margin any partition saw. The fold visits
+// partitions in index order, so the merge is independent of completion
+// order and shard count.
+type Result struct {
+	Partitions int
+	Streams    int
+	Events     uint64
+	Cycles     int64
+
+	Underflows     int
+	UnderflowBytes units.Bytes
+
+	DiskIOs uint64
+	MEMSIOs uint64
+
+	SimulatedTime time.Duration
+	DRAMHighWater units.Bytes
+	DiskBusy      time.Duration
+	MeanDiskUtil  float64
+	WorstMarginP5 time.Duration
+}
+
+// Render produces the merged artifact text. It contains no wall-clock or
+// shard-count dependent values: two runs of the same plan and seed render
+// identically at any shard count — the property the CI artifact diff pins.
+func (r Result) Render() string {
+	return fmt.Sprintf(
+		"partitions=%d streams=%d\n"+
+			"events=%d cycles=%d disk_ios=%d mems_ios=%d\n"+
+			"underflows=%d underflow_bytes=%v\n"+
+			"simulated=%v dram_high_water=%v disk_busy=%v mean_disk_util=%.4f\n"+
+			"worst_margin_p5=%v\n",
+		r.Partitions, r.Streams,
+		r.Events, r.Cycles, r.DiskIOs, r.MEMSIOs,
+		r.Underflows, r.UnderflowBytes,
+		r.SimulatedTime, r.DRAMHighWater, r.DiskBusy, r.MeanDiskUtil,
+		r.WorstMarginP5)
+}
+
+// Report is one sharded run: the merged result plus per-partition and
+// per-shard execution records.
+type Report struct {
+	Plan       string
+	Partitions int
+	Shards     int
+	RootSeed   uint64
+	Wall       time.Duration // end-to-end wall clock of the whole run
+
+	Merged Result
+	Parts  []PartReport
+	Stripe []ShardReport
+}
+
+// WallEventsPerSec is the end-to-end simulation rate: merged events over
+// the run's total wall clock. On a machine with at least one core per
+// shard this approaches AggregateEventsPerSec; with fewer cores the
+// shards timeshare and this number stays near the single-core rate.
+func (r Report) WallEventsPerSec() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Merged.Events) / r.Wall.Seconds()
+}
+
+// AggregateEventsPerSec sums the per-shard simulation rates: the rate the
+// shard engines sustain given a core each. Execution is gated at
+// GOMAXPROCS, so each shard's busy wall is measured uncontended and the
+// aggregate is a hardware-independent capacity figure — the events/s the
+// run reaches once the host has as many cores as shards.
+func (r Report) AggregateEventsPerSec() float64 {
+	var sum float64
+	for _, s := range r.Stripe {
+		sum += s.EventsPerSec()
+	}
+	return sum
+}
+
+// Run executes the plan's partitions on the given number of shard
+// goroutines and deterministically merges their results. Shard counts
+// below 1 run as 1; counts above the partition count are clamped. A
+// partition failure does not abort the other partitions; Run returns the
+// lowest-indexed failure alongside the full report.
+func Run(plan Plan, rootSeed uint64, shards int) (Report, error) {
+	if plan.Partitions <= 0 {
+		return Report{}, fmt.Errorf("shard: plan %q needs at least one partition", plan.Name)
+	}
+	if plan.Build == nil {
+		return Report{}, fmt.Errorf("shard: plan %q has no Build function", plan.Name)
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > plan.Partitions {
+		shards = plan.Partitions
+	}
+
+	rep := Report{
+		Plan:       plan.Name,
+		Partitions: plan.Partitions,
+		Shards:     shards,
+		RootSeed:   rootSeed,
+		Parts:      make([]PartReport, plan.Partitions),
+		Stripe:     make([]ShardReport, shards),
+	}
+
+	// Gate concurrent partitions at GOMAXPROCS: a running partition owns a
+	// core, so per-partition walls measure uncontended simulation time and
+	// the per-shard rates stay meaningful on any machine.
+	slots := runtime.GOMAXPROCS(0)
+	if slots > shards {
+		slots = shards
+	}
+	tokens := make(chan struct{}, slots)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for p := s; p < plan.Partitions; p += shards {
+				tokens <- struct{}{}
+				seed := SeedFor(rootSeed, p)
+				pr := PartReport{Part: p, Shard: s, Seed: seed}
+				cfg, err := plan.Build(p, seed)
+				if err == nil {
+					cfg.Seed = seed
+					runStart := time.Now()
+					pr.Result, err = server.Run(cfg)
+					pr.Wall = time.Since(runStart)
+				}
+				if err != nil {
+					pr.Err = err.Error()
+				}
+				rep.Parts[p] = pr
+				<-tokens
+			}
+		}(s)
+	}
+	wg.Wait()
+	rep.Wall = time.Since(start)
+
+	// Deterministic merge: fold partitions in index order. Completion
+	// order and shard count cannot influence any merged value.
+	for s := range rep.Stripe {
+		rep.Stripe[s].Shard = s
+	}
+	var firstErr error
+	var utilSum float64
+	worstMargin := time.Duration(1<<63 - 1)
+	m := &rep.Merged
+	m.Partitions = plan.Partitions
+	for p := range rep.Parts {
+		pr := &rep.Parts[p]
+		st := &rep.Stripe[pr.Shard]
+		st.Parts++
+		st.Events += pr.Result.Events
+		st.Wall += pr.Wall
+		if pr.Err != "" {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("shard: partition %d: %s", p, pr.Err)
+			}
+			continue
+		}
+		m.Streams += pr.Result.Streams
+		m.Events += pr.Result.Events
+		m.Cycles += pr.Result.Cycles
+		m.Underflows += pr.Result.Underflows
+		m.UnderflowBytes += pr.Result.UnderflowBytes
+		m.DiskIOs += pr.Result.DiskIOs
+		m.MEMSIOs += pr.Result.MEMSIOs
+		m.DRAMHighWater += pr.Result.DRAMHighWater
+		m.DiskBusy += pr.Result.DiskBusy
+		utilSum += pr.Result.DiskUtil
+		if pr.Result.SimulatedTime > m.SimulatedTime {
+			m.SimulatedTime = pr.Result.SimulatedTime
+		}
+		if pr.Result.MarginP5 < worstMargin {
+			worstMargin = pr.Result.MarginP5
+		}
+	}
+	if firstErr != nil {
+		return rep, firstErr
+	}
+	m.MeanDiskUtil = utilSum / float64(plan.Partitions)
+	m.WorstMarginP5 = worstMargin
+	return rep, nil
+}

@@ -330,6 +330,11 @@ func (e *Engine) Run() {
 // event at the head of the calendar never carries the run past the
 // deadline: tombstones are skimmed before the deadline check, so the
 // decision to fire is always made against a live event.
+//
+// A run cut short by Stop does NOT advance the clock to the deadline:
+// events between the last fired event and the deadline never ran, so
+// claiming their time would make Now() lie about how far the simulation
+// actually got. A stopped run leaves Now() at the last fired event.
 func (e *Engine) RunUntil(deadline Time) {
 	e.running = true
 	for e.running {
@@ -339,8 +344,9 @@ func (e *Engine) RunUntil(deadline Time) {
 		}
 		e.fireHead()
 	}
+	stopped := !e.running
 	e.running = false
-	if e.now < deadline {
+	if !stopped && e.now < deadline {
 		e.now = deadline
 	}
 }

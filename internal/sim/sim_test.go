@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"math/bits"
 	"reflect"
 	"sort"
 	"testing"
@@ -110,6 +111,36 @@ func TestRunUntil(t *testing.T) {
 	eng.RunUntil(10 * time.Second)
 	if count != 5 || eng.Now() != 10*time.Second {
 		t.Errorf("count=%d Now=%v, want 5, 10s", count, eng.Now())
+	}
+}
+
+// TestStopDuringRunUntilDoesNotAdvanceClock is the regression test for a
+// clock-skew bug: a RunUntil cut short by Stop used to advance the clock
+// to the deadline anyway, so a stopped run reported Now() == deadline even
+// though events between the last fired event and the deadline never ran.
+func TestStopDuringRunUntilDoesNotAdvanceClock(t *testing.T) {
+	var eng Engine
+	count := 0
+	for i := 1; i <= 5; i++ {
+		eng.Schedule(time.Duration(i)*time.Second, func() {
+			count++
+			if count == 2 {
+				eng.Stop()
+			}
+		})
+	}
+	eng.RunUntil(10 * time.Second)
+	if count != 2 {
+		t.Fatalf("count = %d, want 2 (Stop ignored)", count)
+	}
+	if eng.Now() != 2*time.Second {
+		t.Errorf("Now = %v after Stop, want 2s (time of last fired event)", eng.Now())
+	}
+	// Resuming the run picks up where the stop left off and, completing
+	// naturally this time, does advance to the deadline.
+	eng.RunUntil(10 * time.Second)
+	if count != 5 || eng.Now() != 10*time.Second {
+		t.Errorf("after resume: count=%d Now=%v, want 5, 10s", count, eng.Now())
 	}
 }
 
@@ -405,6 +436,72 @@ func TestRNGUint64nUnbiasedNearMax(t *testing.T) {
 	// Under modulo bias, low ≈ 2/3 of draws; unbiased is 1/2.
 	if frac := float64(low) / draws; frac < 0.45 || frac > 0.55 {
 		t.Errorf("low-half fraction = %.3f, want ~0.5", frac)
+	}
+}
+
+// TestRNGUint64nRejectionPath pins the Lemire retry branch: for a bound
+// just above 2^63, thresh = 2^64 mod n is nearly 2^63, so about half of
+// all draws land below it and must be redrawn. The test mirrors the
+// generator state step-by-step with a reference implementation, counts
+// the rejections the real sampler must have taken, and checks that the
+// retry loop actually triggered — the branch per-shard seeding leans on.
+func TestRNGUint64nRejectionPath(t *testing.T) {
+	n := uint64(1)<<63 + 1
+	thresh := -n % n
+	r := NewRNG(42)
+	ref := NewRNG(42) // mirrored state: consumed in lockstep with r
+	rejections := 0
+	const draws = 256
+	for i := 0; i < draws; i++ {
+		// Reference: replay the algorithm, counting redraws.
+		var want uint64
+		for {
+			hi, lo := bits.Mul64(ref.Uint64(), n)
+			if lo < thresh {
+				rejections++
+				continue
+			}
+			want = hi
+			break
+		}
+		got := r.Uint64n(n)
+		if got != want {
+			t.Fatalf("draw %d: Uint64n = %d, reference = %d (states diverged)", i, got, want)
+		}
+		if got >= n {
+			t.Fatalf("draw %d: Uint64n out of range: %d", i, got)
+		}
+	}
+	if rejections == 0 {
+		t.Fatalf("rejection loop never triggered across %d draws with n=2^63+1 — test lost its teeth", draws)
+	}
+}
+
+// TestRNGPermUniform checks Fisher–Yates output frequencies: over many
+// permutations of 4 elements, each element must land in each position
+// about 1/4 of the time. A biased swap (the classic i vs i+1 off-by-one)
+// skews these counts far beyond the tolerance.
+func TestRNGPermUniform(t *testing.T) {
+	r := NewRNG(777)
+	const n = 4
+	const trials = 40000
+	var counts [n][n]int // counts[value][position]
+	for i := 0; i < trials; i++ {
+		p := r.Perm(n)
+		for pos, v := range p {
+			counts[v][pos]++
+		}
+	}
+	want := float64(trials) / n
+	// 5-sigma binomial tolerance: sqrt(trials * 1/4 * 3/4).
+	tol := 5 * math.Sqrt(float64(trials)*0.25*0.75)
+	for v := 0; v < n; v++ {
+		for pos := 0; pos < n; pos++ {
+			if d := math.Abs(float64(counts[v][pos]) - want); d > tol {
+				t.Errorf("element %d at position %d: %d occurrences, want %.0f±%.0f",
+					v, pos, counts[v][pos], want, tol)
+			}
+		}
 	}
 }
 

@@ -60,6 +60,13 @@ func (p SessionProcess) Generate(rng *sim.RNG, horizon time.Duration) ([]Session
 	id := 0
 	for {
 		gap := units.Seconds(rng.Exp(1 / p.ArrivalRate))
+		// At very high arrival rates the exponential draw truncates to a
+		// zero duration; without a floor t would stop advancing and the
+		// loop would grow out until OOM. One nanosecond is the finest
+		// spacing the time base can express anyway.
+		if gap <= 0 {
+			gap = 1
+		}
 		t += gap
 		if t >= horizon {
 			return out, nil

@@ -68,6 +68,41 @@ func TestGenerateStatistics(t *testing.T) {
 	}
 }
 
+// TestGenerateExtremeRateTerminates is the regression test for an
+// unbounded loop: at very high arrival rates every exponential gap
+// truncated to 0ns, simulated time never advanced past the horizon, and
+// the session slice grew until OOM. With the 1ns gap floor the generator
+// must terminate and arrivals stay strictly increasing.
+func TestGenerateExtremeRateTerminates(t *testing.T) {
+	p := SessionProcess{
+		ArrivalRate: 1e12, // mean gap 1e-12s — far below the 1ns time base
+		MeanHold:    time.Minute,
+		BitRate:     units.MBPS,
+	}
+	horizon := time.Microsecond
+	sessions, err := p.Generate(sim.NewRNG(7), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 1ns floor bounds the output at horizon/1ns sessions.
+	if len(sessions) > int(horizon) {
+		t.Fatalf("generated %d sessions, more than the %d the gap floor allows", len(sessions), int(horizon))
+	}
+	if len(sessions) == 0 {
+		t.Fatal("expected at least one session inside the horizon")
+	}
+	prev := time.Duration(-1)
+	for _, s := range sessions {
+		if s.Arrive <= prev {
+			t.Fatalf("arrivals not strictly increasing: %v after %v", s.Arrive, prev)
+		}
+		if s.Arrive >= horizon {
+			t.Fatalf("arrival %v beyond horizon %v", s.Arrive, horizon)
+		}
+		prev = s.Arrive
+	}
+}
+
 func TestGenerateErrors(t *testing.T) {
 	p := SessionProcess{ArrivalRate: 1, MeanHold: time.Minute, BitRate: units.MBPS}
 	if _, err := p.Generate(sim.NewRNG(1), 0); err == nil {

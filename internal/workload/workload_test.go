@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 	"time"
@@ -226,6 +227,42 @@ func TestGeneratorDrawErrors(t *testing.T) {
 	}
 	if _, err := g.DrawUniform(-1); err == nil {
 		t.Error("DrawUniform(-1) accepted")
+	}
+	if _, err := g.DrawRange(-1, 10); err == nil {
+		t.Error("DrawRange(-1, ...) accepted")
+	}
+}
+
+// TestDrawRangePartitionAware: DrawRange(0, n) is exactly Draw(n), and a
+// nonzero firstID shifts only the IDs — titles and offsets stay the
+// draws the seed dictates. Partitions built this way have globally unique
+// IDs and per-seed-independent populations.
+func TestDrawRangePartitionAware(t *testing.T) {
+	d := XYDistribution{10, 90}
+	cat, _ := NewCatalog(100, DVD, d.Weights(100), 512)
+	base, err := NewGenerator(cat, 42).Draw(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranged, err := NewGenerator(cat, 42).DrawRange(1000, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base.Streams {
+		b, r := base.Streams[i], ranged.Streams[i]
+		if r.ID != 1000+i {
+			t.Fatalf("stream %d: ID = %d, want %d", i, r.ID, 1000+i)
+		}
+		if b.Title.ID != r.Title.ID || b.Offset != r.Offset || b.BitRate != r.BitRate {
+			t.Fatalf("stream %d: DrawRange draw differs from Draw: %+v vs %+v", i, r, b)
+		}
+	}
+	zero, err := NewGenerator(cat, 42).DrawRange(0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(zero, base) {
+		t.Error("DrawRange(0, n) differs from Draw(n)")
 	}
 }
 

@@ -6,17 +6,27 @@
 # files form an append-only trajectory):
 #
 #   {
-#     "schema": "bench/v1",
+#     "schema": "bench/v2",
 #     "recorded": "<UTC timestamp>",
 #     "go": "<toolchain>",
 #     "microbench": [ {"name", "ns_per_op", "bytes_per_op", "allocs_per_op"} ],
-#     "experiments": [ {"id", "wall_ns", "events", "events_per_sec"} ]
+#     "experiments": [ {"id", "wall_ns", "events", "events_per_sec"} ],
+#     "scaling": [ <memsim -scale docs, one per shard count> ]
 #   }
 #
+# The scaling section runs the sharded uniform scenario at each shard
+# count in BENCH_SHARDS. The merged counters in every entry are identical
+# (determinism contract); events_per_sec is end-to-end wall rate, while
+# aggregate_events_per_sec sums the per-shard uncontended rates — the
+# capacity figure once the host has a core per shard (see DESIGN.md).
+#
 # Knobs (environment):
-#   BENCH_DIR      output directory (default: repo root)
-#   BENCH_PATTERN  -bench regexp for the microbenchmarks (default: .)
-#   BENCH_TIME     -benchtime (default: 1s)
+#   BENCH_DIR        output directory (default: repo root)
+#   BENCH_PATTERN    -bench regexp for the microbenchmarks (default: .)
+#   BENCH_TIME       -benchtime (default: 1s)
+#   BENCH_SCALE      -scale stream total for the scaling section (default: 65536)
+#   BENCH_SCALE_PER  -scale-per partition size (default: 4096)
+#   BENCH_SHARDS     shard counts to sweep, space-separated (default: "1 2 4 8")
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -38,9 +48,17 @@ go test -run '^$' -bench "${BENCH_PATTERN:-.}" -benchmem \
 echo "bench: experiment suite (memsbench -perf)" >&2
 go run ./cmd/memsbench -parallel 1 -perf "$TMP_PERF" -out "$TMP_ART" >/dev/null
 
+SCALE="${BENCH_SCALE:-65536}"
+SCALE_PER="${BENCH_SCALE_PER:-4096}"
+for shards in ${BENCH_SHARDS:-1 2 4 8}; do
+    echo "bench: scaling scenario (${SCALE} streams, shards=${shards})" >&2
+    go run ./cmd/memsim -scale "$SCALE" -scale-per "$SCALE_PER" \
+        -shards "$shards" -json "$TMP_ART/scale_${shards}.json" >&2
+done
+
 {
     printf '{\n'
-    printf '  "schema": "bench/v1",\n'
+    printf '  "schema": "bench/v2",\n'
     printf '  "recorded": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
     printf '  "go": "%s",\n' "$(go env GOVERSION)"
     printf '  "microbench": [\n'
@@ -63,6 +81,14 @@ go run ./cmd/memsbench -parallel 1 -perf "$TMP_PERF" -out "$TMP_ART" >/dev/null
     printf '  "experiments": '
     # Indent the perf array two spaces so the merged document stays readable.
     sed -e '1!s/^/  /' "$TMP_PERF"
+    printf '  ,"scaling": [\n'
+    first=1
+    for shards in ${BENCH_SHARDS:-1 2 4 8}; do
+        [ "$first" -eq 1 ] || printf '  ,\n'
+        first=0
+        sed -e 's/^/  /' "$TMP_ART/scale_${shards}.json"
+    done
+    printf '  ]\n'
     printf '}\n'
 } >"$OUT"
 
