@@ -22,9 +22,17 @@
 // whole-surface layouts. STAT's capacity= yardstick therefore reads
 // lower — and honestly — compared with the old OuterRate figure.
 //
+// With -http, memserve also serves the JSON control plane on a second
+// listener (see internal/serve ControlHandler and EXPERIMENTS.md):
+//
+//	GET  /metrics            counters, lag histogram, tiers, live streams
+//	GET  /status             liveness/occupancy view
+//	POST /streams/{id}/stop  force-close one stream
+//	POST /drain              trigger the graceful drain
+//
 // Usage:
 //
-//	memserve -addr :9090 -dram 1GB -bitrate 100KB \
+//	memserve -addr :9090 -http :9091 -dram 1GB -bitrate 100KB \
 //	         -read-timeout 5s -write-timeout 5s -drain 10s -max-conns 1024
 package main
 
@@ -33,6 +41,7 @@ import (
 	"flag"
 	"log"
 	"net"
+	"net/http"
 	"os/signal"
 	"syscall"
 	"time"
@@ -46,6 +55,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:9090", "listen address")
+	httpAddr := flag.String("http", "", "HTTP control-plane address (empty = disabled)")
 	dram := flag.String("dram", "1GB", "DRAM budget for admission control")
 	rate := flag.String("bitrate", "100KB", "per-stream bit-rate the server is provisioned for")
 	limit := flag.String("limit", "1MB", "bytes to stream per client (0 = unlimited)")
@@ -67,6 +77,25 @@ func main() {
 	}
 	log.Printf("memserve: listening on %s (provisioned for %v streams at %s, %s DRAM, max %d conns)",
 		ln.Addr(), srv.Capacity(), *rate, *dram, *maxConns)
+
+	// The control plane outlives the drain: /metrics and /status stay
+	// answerable while (and after) the streaming listener winds down, so
+	// operators and the smoke test can observe the drain itself. It is
+	// closed only when main returns.
+	if *httpAddr != "" {
+		hln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatalf("memserve: control plane: %v", err)
+		}
+		hs := &http.Server{Handler: srv.ControlHandler()}
+		defer hs.Close()
+		go func() {
+			if err := hs.Serve(hln); err != nil && err != http.ErrServerClosed {
+				log.Printf("memserve: control plane: %v", err)
+			}
+		}()
+		log.Printf("memserve: control plane on http://%s", hln.Addr())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

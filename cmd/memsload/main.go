@@ -13,20 +13,36 @@
 //	memsload -addr 127.0.0.1:9090 -stat              # one STAT round-trip
 //	memsload -addr 127.0.0.1:9090 -metrics           # one METRICS round-trip
 //	memsload -addr 127.0.0.1:9090 -drained 5s        # poll until admitted=0
+//
+// Against the HTTP control plane (memserve -http):
+//
+//	memsload -http-metrics http://127.0.0.1:9091     # probe: fetch /status
+//	         # and /metrics, print flattened key=value lines, exit 1 on
+//	         # unreachable endpoint or invalid JSON
+//	memsload -addr 127.0.0.1:9090 -clients 8 -stall 2 -duration 3s \
+//	         -verify-http http://127.0.0.1:9091
+//	         # run the load AND cross-check the server's counter deltas
+//	         # (/metrics before vs after) against the client-side tallies:
+//	         # every admitted stream must land in exactly one of
+//	         # completed/evicted/aborted, with no reaped cross-counting
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net"
+	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"memstream/internal/metrics"
 	"memstream/internal/sim"
 	"memstream/internal/units"
 )
@@ -78,15 +94,21 @@ func main() {
 	rate := flag.String("rate", "100KB", "per-client PLAY rate")
 	duration := flag.Duration("duration", 5*time.Second, "run length")
 	stat := flag.Bool("stat", false, "send one STAT, print the response, exit")
-	metrics := flag.Bool("metrics", false, "send one METRICS, print the response, exit")
+	metricsLine := flag.Bool("metrics", false, "send one METRICS, print the response, exit")
 	drained := flag.Duration("drained", 0, "poll STAT until admitted=0 or this timeout; exit 1 on timeout")
+	httpMetrics := flag.String("http-metrics", "", "probe the HTTP control plane at this base URL: fetch /status and /metrics, print flattened key=value lines, exit")
+	verifyHTTP := flag.String("verify-http", "", "with a load run: fetch /metrics before and after and verify server counter deltas against client-side tallies")
 	flag.Parse()
 
 	switch {
 	case *stat:
 		oneShot(*addr, "STAT")
-	case *metrics:
+	case *metricsLine:
 		oneShot(*addr, "METRICS")
+	case *httpMetrics != "":
+		if err := probeHTTP(os.Stdout, *httpMetrics); err != nil {
+			log.Fatalf("memsload: http probe: %v", err)
+		}
 	case *drained > 0:
 		if err := waitDrained(*addr, *drained); err != nil {
 			log.Fatalf("memsload: %v", err)
@@ -95,6 +117,14 @@ func main() {
 	default:
 		cfg := config{addr: *addr, clients: *clients, slow: *slow, stall: *stall,
 			rate: *rate, duration: *duration}
+		var before *metrics.Document
+		if *verifyHTTP != "" {
+			doc, err := fetchMetrics(*verifyHTTP)
+			if err != nil {
+				log.Fatalf("memsload: verify baseline: %v", err)
+			}
+			before = doc
+		}
 		rep, err := run(cfg)
 		if err != nil {
 			log.Fatalf("memsload: %v", err)
@@ -103,7 +133,148 @@ func main() {
 		if rep.Errors > 0 {
 			os.Exit(1)
 		}
+		if *verifyHTTP != "" {
+			if err := verifyAgainstHTTP(*verifyHTTP, before, rep); err != nil {
+				log.Fatalf("memsload: counter verification FAILED: %v", err)
+			}
+			fmt.Println("verify-http: server counter deltas match client tallies")
+		}
 	}
+}
+
+// fetchJSON GETs base+path and decodes the JSON body.
+func fetchJSON(base, path string, into any) error {
+	url := strings.TrimRight(base, "/") + path
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		return fmt.Errorf("GET %s: invalid JSON: %v", url, err)
+	}
+	return nil
+}
+
+func fetchMetrics(base string) (*metrics.Document, error) {
+	var doc metrics.Document
+	if err := fetchJSON(base, "/metrics", &doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
+// probeHTTP is the -http-metrics mode: one /status and one /metrics
+// round-trip, rendered as sorted key=value lines (grep-friendly for the
+// CI smoke), failing on unreachable endpoints or invalid JSON.
+func probeHTTP(w io.Writer, base string) error {
+	var st metrics.Status
+	if err := fetchJSON(base, "/status", &st); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "status.state=%s status.admitted=%d status.capacity=%d status.active_streams=%d status.conns=%d\n",
+		st.State, st.Admitted, st.Capacity, st.ActiveStreams, st.Conns)
+	doc, err := fetchMetrics(base)
+	if err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(doc.Counters))
+	for k := range doc.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "counters.%s=%d\n", k, doc.Counters[k])
+	}
+	fmt.Fprintf(w, "lag.count=%d\n", doc.Lag.Count)
+	qkeys := make([]string, 0, len(doc.Lag.Quantiles))
+	for k := range doc.Lag.Quantiles {
+		qkeys = append(qkeys, k)
+	}
+	sort.Strings(qkeys)
+	for _, k := range qkeys {
+		fmt.Fprintf(w, "lag.%s=%.3f\n", k, doc.Lag.Quantiles[k])
+	}
+	for _, tier := range doc.Tiers {
+		fmt.Fprintf(w, "tier.%s.utilization=%.4f\n", tier.Name, tier.Utilization)
+	}
+	fmt.Fprintf(w, "streams.live=%d\n", len(doc.Streams))
+	return nil
+}
+
+// verifyAgainstHTTP waits for the server to settle (no live streams),
+// fetches the post-load /metrics, and checks the counter deltas against
+// the client-side tallies. The identities assume outcomes are
+// unambiguous: stalled clients require the server to run with -limit 0
+// (a finite limit can fit entirely in kernel socket buffers, letting
+// the server complete a stream its client believes was stalled). The
+// smoke invokes it exactly that way.
+func verifyAgainstHTTP(base string, before *metrics.Document, rep *report) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var st metrics.Status
+		if err := fetchJSON(base, "/status", &st); err != nil {
+			return err
+		}
+		if st.ActiveStreams == 0 && st.Admitted == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server did not settle: %d streams / %d admitted still live", st.ActiveStreams, st.Admitted)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	after, err := fetchMetrics(base)
+	if err != nil {
+		return err
+	}
+	if problems := verifyDeltas(before.Counters, after.Counters, rep); len(problems) > 0 {
+		return fmt.Errorf("%s", strings.Join(problems, "; "))
+	}
+	return nil
+}
+
+// verifyDeltas cross-checks the server's counter deltas over one load
+// run against the load generator's own tallies:
+//
+//   - admitted_total, admission_busy, and completed match exactly;
+//   - reaped stays flat — no disconnect may be miscounted as a
+//     slowloris reap (the clients always send a full request line);
+//   - evicted is at least the client-observed stall kills. It may
+//     legitimately exceed them: an evicted reader that is still
+//     draining kernel-buffered data when its run window ends never
+//     sees the server's close, so the client side under-observes;
+//   - conservation: every admitted stream ends exactly one way, so
+//     evicted + aborted must equal admitted − completed. Combined with
+//     the floor above, this pins any cross-counting between the
+//     eviction and abort buckets.
+func verifyDeltas(before, after map[string]uint64, rep *report) []string {
+	delta := func(k string) uint64 { return after[k] - before[k] }
+	var problems []string
+	check := func(name string, got, want uint64) {
+		if got != want {
+			problems = append(problems, fmt.Sprintf("%s: server delta %d, client tally %d", name, got, want))
+		}
+	}
+	check("admitted_total", delta("admitted_total"), uint64(rep.Admitted))
+	check("admission_busy", delta("admission_busy"), uint64(rep.Busy))
+	check("completed", delta("completed"), uint64(rep.Completed))
+	check("reaped", delta("reaped"), 0)
+	if got, min := delta("evicted"), uint64(rep.Evicted); got < min {
+		problems = append(problems, fmt.Sprintf("evicted: server delta %d < %d client-observed evictions", got, min))
+	}
+	if got, want := delta("evicted")+delta("aborted"), uint64(rep.Admitted-rep.Completed); got != want {
+		problems = append(problems, fmt.Sprintf("conservation: evicted+aborted delta %d != admitted-completed %d", got, want))
+	}
+	if got, min := delta("bytes_out"), uint64(rep.Bytes); got < min {
+		problems = append(problems, fmt.Sprintf("bytes_out: server delta %d < client bytes read %d", got, min))
+	}
+	return problems
 }
 
 func oneShot(addr, cmd string) {

@@ -1,13 +1,17 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"io"
 	"net"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
 
 	"memstream/internal/disk"
+	"memstream/internal/metrics"
 	"memstream/internal/model"
 	"memstream/internal/schedule"
 	"memstream/internal/serve"
@@ -129,6 +133,144 @@ func TestRunValidatesConfig(t *testing.T) {
 	}
 	if _, err := run(config{clients: 1, rate: "fast"}); err == nil {
 		t.Error("bad rate accepted")
+	}
+}
+
+// The -http-metrics probe against a live control plane: flattened
+// key=value output with the counter and status keys the smoke greps for.
+func TestProbeHTTP(t *testing.T) {
+	_, s := startServer(t, 1*units.KB)
+	ts := httptest.NewServer(s.ControlHandler())
+	defer ts.Close()
+
+	var buf bytes.Buffer
+	if err := probeHTTP(&buf, ts.URL+"/"); err != nil { // trailing slash is tolerated
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, key := range []string{
+		"status.state=serving", "status.admitted=0",
+		"counters.admitted_total=0", "counters.reaped=0", "counters.aborted=0",
+		"lag.count=0", "tier.dram.utilization=", "tier.disk.utilization=", "streams.live=0",
+	} {
+		if !strings.Contains(out, key) {
+			t.Errorf("probe output missing %q:\n%s", key, out)
+		}
+	}
+	// No samples yet: quantile keys must be absent, matching the METRICS
+	// line's omission semantics.
+	if strings.Contains(out, "lag.p95_ms=") {
+		t.Errorf("probe rendered quantiles with zero samples:\n%s", out)
+	}
+
+	if err := probeHTTP(io.Discard, "http://127.0.0.1:1"); err == nil {
+		t.Error("probe against dead endpoint succeeded")
+	}
+}
+
+func TestVerifyDeltas(t *testing.T) {
+	before := map[string]uint64{
+		"admitted_total": 3, "admission_busy": 1, "completed": 2,
+		"evicted": 1, "aborted": 0, "reaped": 5, "bytes_out": 1000,
+	}
+	after := map[string]uint64{
+		"admitted_total": 9, "admission_busy": 3, "completed": 5,
+		"evicted": 3, "aborted": 1, "reaped": 5, "bytes_out": 90000,
+	}
+	rep := &report{Admitted: 6, Busy: 2, Completed: 3, Evicted: 2, Bytes: 80000}
+	if problems := verifyDeltas(before, after, rep); len(problems) != 0 {
+		t.Errorf("consistent deltas flagged: %v", problems)
+	}
+
+	// An eviction the client could not observe (still draining buffers at
+	// window end) shifts a stream from the abort to the eviction bucket;
+	// conservation still holds and must NOT be flagged.
+	after["evicted"] = 4
+	after["aborted"] = 0
+	if problems := verifyDeltas(before, after, rep); len(problems) != 0 {
+		t.Errorf("unobserved eviction flagged: %v", problems)
+	}
+
+	// A reaped increment during the load is always a miscount.
+	after["reaped"] = 6
+	if problems := verifyDeltas(before, after, rep); len(problems) != 1 || !strings.Contains(problems[0], "reaped") {
+		t.Errorf("reaped cross-count not flagged: %v", problems)
+	}
+	after["reaped"] = 5
+
+	// A lost stream — fewer terminal events than admissions — breaks
+	// conservation.
+	after["aborted"] = 0
+	after["evicted"] = 3
+	problems := verifyDeltas(before, after, rep)
+	if len(problems) != 1 || !strings.Contains(problems[0], "conservation") {
+		t.Errorf("lost stream not flagged: %v", problems)
+	}
+
+	// Fewer server evictions than clients actually observed is a
+	// miscount even when conservation balances (evicted leaked into
+	// aborted).
+	after["evicted"] = 2
+	after["aborted"] = 2
+	problems = verifyDeltas(before, after, rep)
+	if len(problems) != 1 || !strings.Contains(problems[0], "evicted") {
+		t.Errorf("evicted undercount not flagged: %v", problems)
+	}
+}
+
+// End-to-end: the load runs with a control plane attached and the
+// verifier confirms the server's deltas — including a non-trivial
+// baseline from a prior run, which the delta arithmetic must cancel
+// out. No stalled clients here: with a finite -limit a stall can fit
+// entirely in kernel socket buffers, making the server's "completed"
+// and the client's "evicted" both defensible — the smoke runs the
+// stalled verification against -limit 0 where eviction is forced.
+func TestVerifyAgainstHTTPLive(t *testing.T) {
+	addr, s := startServer(t, 20*units.KB)
+	ts := httptest.NewServer(s.ControlHandler())
+	defer ts.Close()
+
+	cfg := config{addr: addr, clients: 4, slow: 1, rate: "100KB", duration: 800 * time.Millisecond}
+
+	// First run pollutes the baseline; wait for its accounting to settle.
+	if _, err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, ts, 3*time.Second)
+
+	before, err := fetchMetrics(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("load errors: %d\n%s", rep.Errors, rep)
+	}
+	if err := verifyAgainstHTTP(ts.URL, before, rep); err != nil {
+		t.Errorf("verification failed against live server: %v", err)
+	}
+}
+
+// waitFor polls /status until no streams are live, so counter snapshots
+// taken afterwards are final.
+func waitFor(t *testing.T, ts *httptest.Server, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		var st metrics.Status
+		if err := fetchJSON(ts.URL, "/status", &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.ActiveStreams == 0 && st.Admitted == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server did not settle: %+v", st)
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }
 

@@ -1,0 +1,194 @@
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram bucket layout: quarter-octave log2 buckets spanning
+// [2^minExp, 2^maxExp) seconds, one underflow bucket (values ≤ 2^minExp,
+// including the very common "zero lag") and one overflow bucket. With
+// minExp = -20 (~0.95µs) and maxExp = 4 (16s) that is 24 octaves × 4
+// sub-buckets + 2 = 98 buckets, and every bucket's width is ≤ 25% of its
+// lower bound — comfortably finer than the millisecond resolution the
+// METRICS line reports.
+const (
+	histMinExp  = -20
+	histMaxExp  = 4
+	histSubBits = 2 // sub-buckets per octave = 1<<histSubBits
+	histSub     = 1 << histSubBits
+
+	// NumBuckets is the fixed bucket count of every Histogram.
+	NumBuckets = (histMaxExp-histMinExp)*histSub + 2
+)
+
+var (
+	histMin = math.Ldexp(1, histMinExp) // underflow bound, seconds
+	histMax = math.Ldexp(1, histMaxExp) // overflow bound, seconds
+)
+
+// bucketOf maps a sample in seconds to its bucket index using the float's
+// own binary representation: the exponent selects the octave and the top
+// mantissa bits the sub-bucket. No log call, no branch on bucket bounds,
+// no allocation.
+func bucketOf(v float64) int {
+	if !(v > histMin) { // also catches 0, negatives, and NaN
+		return 0
+	}
+	if v >= histMax {
+		return NumBuckets - 1
+	}
+	bits := math.Float64bits(v)
+	exp := int(bits>>52) - 1023
+	sub := int(bits >> (52 - histSubBits) & (histSub - 1))
+	return 1 + (exp-histMinExp)*histSub + sub
+}
+
+// BucketBound returns bucket i's inclusive upper bound in seconds. The
+// overflow bucket's bound is +Inf.
+func BucketBound(i int) float64 {
+	switch {
+	case i <= 0:
+		return histMin
+	case i >= NumBuckets-1:
+		return math.Inf(1)
+	}
+	k := i - 1
+	return math.Ldexp(1+float64(k%histSub+1)/histSub, histMinExp+k/histSub)
+}
+
+// bucketEstimate is the representative value reported for a quantile that
+// lands in bucket i: 0 for the underflow bucket (lag below measurement
+// resolution), the geometric midpoint for interior buckets, and the range
+// maximum for the overflow bucket.
+func bucketEstimate(i int) float64 {
+	switch {
+	case i <= 0:
+		return 0
+	case i >= NumBuckets-1:
+		return histMax
+	}
+	hi := BucketBound(i)
+	k := i - 1
+	lo := math.Ldexp(1+float64(k%histSub)/histSub, histMinExp+k/histSub)
+	return math.Sqrt(lo * hi)
+}
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent use.
+// Observe is lock-free and allocation-free; snapshots are mergeable. The
+// zero value is ready to use.
+type Histogram struct {
+	buckets [NumBuckets]atomic.Uint64
+	sumNS   atomic.Uint64 // total of positive samples, nanoseconds
+}
+
+// Observe records one sample in seconds.
+func (h *Histogram) Observe(sec float64) {
+	h.buckets[bucketOf(sec)].Add(1)
+	if sec > 0 {
+		h.sumNS.Add(uint64(sec * 1e9))
+	}
+}
+
+// N reports how many samples were observed.
+func (h *Histogram) N() uint64 {
+	var n uint64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Snapshot copies the histogram's state. Buckets are loaded independently
+// (no global lock), so a snapshot taken during concurrent Observes is a
+// slightly time-smeared but internally valid histogram.
+func (h *Histogram) Snapshot() Snapshot {
+	var s Snapshot
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		s.Counts[i] = c
+		s.N += c
+	}
+	s.SumNS = h.sumNS.Load()
+	return s
+}
+
+// Quantile reports the q-quantile in seconds from the live buckets; ok is
+// false when no samples have been observed.
+func (h *Histogram) Quantile(q float64) (float64, bool) {
+	s := h.Snapshot()
+	return s.Quantile(q)
+}
+
+// Snapshot is a point-in-time copy of a Histogram: mergeable across
+// collectors (shards, servers) and the source for the JSON rendering.
+type Snapshot struct {
+	Counts [NumBuckets]uint64
+	N      uint64
+	SumNS  uint64
+}
+
+// Merge folds another snapshot into s.
+func (s *Snapshot) Merge(o *Snapshot) {
+	for i := range s.Counts {
+		s.Counts[i] += o.Counts[i]
+	}
+	s.N += o.N
+	s.SumNS += o.SumNS
+}
+
+// Quantile reports the q-quantile in seconds (q clamped to [0,1]); ok is
+// false when the snapshot is empty. The estimate is bucket-resolution:
+// exact to within the bucket's ≤25% width.
+func (s *Snapshot) Quantile(q float64) (float64, bool) {
+	if s.N == 0 {
+		return 0, false
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.N)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range s.Counts {
+		cum += s.Counts[i]
+		if cum >= rank {
+			return bucketEstimate(i), true
+		}
+	}
+	return bucketEstimate(NumBuckets - 1), true
+}
+
+// Wire renders the snapshot in the control-plane JSON schema: count, sum,
+// standard quantiles (omitted while empty, so "no data yet" can never be
+// mistaken for "true zero lag"), and the non-empty buckets.
+func (s Snapshot) Wire() HistogramJSON {
+	w := HistogramJSON{Count: s.N, SumMS: float64(s.SumNS) / 1e6}
+	if s.N > 0 {
+		w.Quantiles = map[string]float64{}
+		for _, q := range [...]struct {
+			name string
+			q    float64
+		}{{"p50_ms", 0.50}, {"p95_ms", 0.95}, {"p99_ms", 0.99}} {
+			if v, ok := s.Quantile(q.q); ok {
+				w.Quantiles[q.name] = v * 1e3
+			}
+		}
+	}
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if i == NumBuckets-1 {
+			w.Overflow = c
+			continue
+		}
+		w.Buckets = append(w.Buckets, BucketJSON{LeMS: BucketBound(i) * 1e3, Count: c})
+	}
+	return w
+}

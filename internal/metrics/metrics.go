@@ -1,0 +1,73 @@
+// Package metrics is the production observability layer for the serving
+// front-end: lock-free hot-path primitives whose record paths cost one or
+// two uncontended atomic RMWs and zero allocations, plus mergeable
+// snapshots and the JSON schema the HTTP control plane renders and
+// cmd/memsload consumes.
+//
+// Two primitives cover the streaming hot path:
+//
+//   - Counter: a cache-line-padded sharded atomic counter. A hot
+//     goroutine (one paced stream) takes a Handle once at start and adds
+//     to its own shard thereafter, so concurrent streams never contend on
+//     one cache line. Total folds the shards on the (cold) read side.
+//   - Histogram: a fixed-bucket log-spaced latency histogram. Observe
+//     maps a value to its bucket with float-bit arithmetic (no math.Log,
+//     no allocation, no lock) and increments one atomic bucket.
+//
+// Both replace the previous design in internal/serve, where every
+// pacing-lag sample took a sync.Mutex around a sampling reservoir — a
+// single contended lock shared by every stream on the box.
+package metrics
+
+import "sync/atomic"
+
+// counterShards is the shard fan-out. Handles distribute round-robin, so
+// up to this many hot goroutines write entirely uncontended cache lines;
+// beyond it, collisions stay 1/counterShards. Must be a power of two.
+const counterShards = 16
+
+// counterShard pads one atomic to a 64-byte cache line so neighbouring
+// shards never false-share.
+type counterShard struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// Counter is a monotonic counter sharded across cache-line-padded cells.
+// The zero value is ready to use. Hot paths should take a Handle once and
+// add through it; Add without a handle is for cold paths.
+type Counter struct {
+	shards [counterShards]counterShard
+	next   atomic.Uint32
+}
+
+// Handle is a hot goroutine's pinned shard reference. Obtain one from
+// Counter.Handle at goroutine start; the zero Handle is invalid.
+type Handle struct {
+	s *counterShard
+}
+
+// Handle assigns the next shard round-robin. One atomic increment here
+// buys an uncontended hot path for the goroutine's lifetime.
+func (c *Counter) Handle() Handle {
+	i := c.next.Add(1) - 1
+	return Handle{s: &c.shards[i%counterShards]}
+}
+
+// Add accumulates delta on the handle's shard.
+func (h Handle) Add(delta uint64) { h.s.n.Add(delta) }
+
+// Add accumulates delta on shard 0 — a convenience for cold paths that
+// have no Handle (e.g. one-shot accounting outside the streaming loop).
+func (c *Counter) Add(delta uint64) { c.shards[0].n.Add(delta) }
+
+// Total folds every shard. It is not a consistent cut across shards
+// (loads are independent), but the counter is monotonic, so Total is
+// always between the true value at the start and end of the call.
+func (c *Counter) Total() uint64 {
+	var sum uint64
+	for i := range c.shards {
+		sum += c.shards[i].n.Load()
+	}
+	return sum
+}

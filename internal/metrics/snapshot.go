@@ -1,0 +1,72 @@
+package metrics
+
+// This file is the control-plane wire schema: the JSON document shapes
+// served by memserve's HTTP endpoints and decoded by cmd/memsload's
+// -http-metrics probe and -verify-http consistency check. Producers and
+// consumers share these types, so the schema cannot drift silently.
+
+// Document is the GET /metrics response. The Streams array is rendered
+// last and streamed entry-by-entry by the handler, so a server with
+// thousands of live streams never buffers the whole document.
+type Document struct {
+	Server   string            `json:"server"`
+	State    string            `json:"state"` // "serving" | "draining"
+	UptimeMS float64           `json:"uptime_ms"`
+	Counters map[string]uint64 `json:"counters"`
+	Gauges   map[string]int64  `json:"gauges"`
+	Lag      HistogramJSON     `json:"lag"`
+	Tiers    []Tier            `json:"tiers,omitempty"`
+	Streams  []Stream          `json:"streams"`
+}
+
+// HistogramJSON is the wire form of a histogram Snapshot. Quantiles is
+// absent until at least one sample exists; Buckets lists only non-empty
+// buckets (le_ms is the bucket's inclusive upper bound in milliseconds);
+// Overflow counts samples beyond the histogram range.
+type HistogramJSON struct {
+	Count     uint64             `json:"count"`
+	SumMS     float64            `json:"sum_ms"`
+	Quantiles map[string]float64 `json:"quantiles,omitempty"`
+	Buckets   []BucketJSON       `json:"buckets,omitempty"`
+	Overflow  uint64             `json:"overflow,omitempty"`
+}
+
+// BucketJSON is one non-empty histogram bucket.
+type BucketJSON struct {
+	LeMS  float64 `json:"le_ms"`
+	Count uint64  `json:"count"`
+}
+
+// Tier is one memory-hierarchy tier's admission-plan gauge set: the
+// DRAM tier carries capacity/planned-use bytes, the disk tier carries
+// bandwidth and the admitted aggregate. Utilization is used/cap for
+// byte tiers and aggregate/rate for rate tiers.
+type Tier struct {
+	Name         string  `json:"tier"`
+	CapBytes     float64 `json:"cap_bytes,omitempty"`
+	UsedBytes    float64 `json:"used_bytes,omitempty"`
+	RateBps      float64 `json:"rate_bps,omitempty"`
+	AggregateBps float64 `json:"aggregate_bps,omitempty"`
+	Utilization  float64 `json:"utilization"`
+}
+
+// Stream is one live paced stream.
+type Stream struct {
+	ID      uint64  `json:"id"`
+	RateBps float64 `json:"rate_bps"`
+	Bytes   uint64  `json:"bytes_out"`
+	AgeMS   float64 `json:"age_ms"`
+}
+
+// Status is the GET /status response: the cheap liveness view without
+// per-stream detail or histogram buckets.
+type Status struct {
+	Server        string  `json:"server"`
+	State         string  `json:"state"`
+	Admitted      int     `json:"admitted"`
+	Capacity      int     `json:"capacity"`
+	ActiveStreams int64   `json:"active_streams"`
+	Conns         int     `json:"conns"`
+	AggregateBps  float64 `json:"aggregate_bps"`
+	UptimeMS      float64 `json:"uptime_ms"`
+}

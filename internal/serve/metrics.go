@@ -3,91 +3,92 @@ package serve
 import (
 	"fmt"
 	"strings"
-	"sync"
 	"sync/atomic"
 
-	"memstream/internal/sim"
+	"memstream/internal/metrics"
 )
 
 // Metrics is the supervisor's observability surface: monotonic counters
-// for every connection outcome plus a pacing-lag histogram. Counters are
-// atomics so the hot streaming path never takes a lock; the lag reservoir
-// (a sim.Reservoir, the same estimator the simulator uses for delivery
-// margins) has its own mutex because Observe mutates shared state.
+// for every connection outcome plus a pacing-lag histogram. Everything on
+// the streaming path is lock-free: the low-rate outcome counters are
+// plain atomics, the per-chunk BytesOut counter is sharded per stream
+// (metrics.Counter), and each lag sample is one atomic bucket increment
+// (metrics.Histogram) — no mutex anywhere, replacing the previous
+// sync.Mutex-guarded sampling reservoir that every stream contended on.
+//
+// Connection outcomes are disjoint by design:
+//
+//   - Reaped: the server timed out a request line (read deadline) or cut
+//     an unterminated line at maxRequestLine — hostile-idle clients.
+//   - Aborted: the client vanished of its own accord — disconnected
+//     mid-request-line, before the streaming banner, or mid-stream.
+//   - Evicted: the server killed an admitted stream — a stalled reader
+//     hit the write deadline, or drain/control-plane force-closed it.
+//
+// Earlier versions cross-counted these (a partial-line disconnect counted
+// as a reap; a failed banner write counted as an eviction), which made
+// the counters useless for telling hostile clients from flaky ones.
 type Metrics struct {
 	Accepted      atomic.Uint64 // connections admitted past the conn semaphore
 	Sheds         atomic.Uint64 // connections shed BUSY at the max-conns cap
-	Reaped        atomic.Uint64 // request lines that hit the read deadline
+	Reaped        atomic.Uint64 // request lines reaped: read-deadline timeout or maxRequestLine overflow
+	Aborted       atomic.Uint64 // clients that disconnected on their own (mid-line, pre-banner, or mid-stream)
 	BadRequests   atomic.Uint64 // malformed or unknown commands
 	AdmittedTotal atomic.Uint64 // PLAY requests admitted by Theorem 1
 	AdmissionBusy atomic.Uint64 // PLAY requests refused by Theorem 1
 	Completed     atomic.Uint64 // streams that delivered their full byte budget
-	Evicted       atomic.Uint64 // streams killed by a write deadline or drain
-	BytesOut      atomic.Uint64 // stream payload bytes written
+	Evicted       atomic.Uint64 // streams the server killed: write deadline or drain/stop force-close
+	BytesOut      metrics.Counter // stream payload bytes written (sharded; one handle per stream)
 
 	ActiveStreams atomic.Int64 // gauge: streams currently holding a slot
 
-	mu  sync.Mutex
-	lag *sim.Reservoir // pacing lag per quantum, in seconds
+	Lag metrics.Histogram // pacing lag per quantum, seconds
 }
 
-// lagReservoirCap bounds the retained lag sample; 8192 matches the
-// simulator's margin reservoirs.
-const lagReservoirCap = 8192
-
-func newMetrics(seed uint64) *Metrics {
-	return &Metrics{lag: sim.NewReservoir(lagReservoirCap, seed)}
-}
+func newMetrics() *Metrics { return &Metrics{} }
 
 // ObserveLag records one pacing-lag sample (seconds a chunk completed
-// after its quantum boundary).
-func (m *Metrics) ObserveLag(sec float64) {
-	m.mu.Lock()
-	m.lag.Observe(sec)
-	m.mu.Unlock()
-}
+// after its quantum boundary). Lock-free and allocation-free.
+func (m *Metrics) ObserveLag(sec float64) { m.Lag.Observe(sec) }
 
-// LagQuantile returns the q-quantile of the pacing-lag sample in seconds;
-// ok is false when no lag has been observed yet.
-func (m *Metrics) LagQuantile(q float64) (float64, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.lag.Quantile(q)
-}
+// LagQuantile returns the q-quantile of the pacing-lag histogram in
+// seconds; ok is false when no lag has been observed yet.
+func (m *Metrics) LagQuantile(q float64) (float64, bool) { return m.Lag.Quantile(q) }
 
 // lagSamples reports how many lag observations were made.
-func (m *Metrics) lagSamples() uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.lag.N()
-}
+func (m *Metrics) lagSamples() uint64 { return m.Lag.N() }
 
-// lagSnapshot reads the sample count and the rendered quantiles under one
-// lock acquisition, so a METRICS line never mixes the count from before a
-// concurrent ObserveLag with quantiles from after it (a torn line such as
-// lag_samples=0 alongside a nonzero lag_p50_ms).
-func (m *Metrics) lagSnapshot(qs []float64) (n uint64, vals []float64) {
-	vals = make([]float64, len(qs))
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	n = m.lag.N()
-	for i, q := range qs {
-		if v, ok := m.lag.Quantile(q); ok {
-			vals[i] = v
-		}
+// counterMap renders every outcome counter under its wire name — the one
+// schema shared by the METRICS text line and the HTTP /metrics document.
+func (m *Metrics) counterMap() map[string]uint64 {
+	return map[string]uint64{
+		"accepted":       m.Accepted.Load(),
+		"sheds":          m.Sheds.Load(),
+		"reaped":         m.Reaped.Load(),
+		"aborted":        m.Aborted.Load(),
+		"bad_requests":   m.BadRequests.Load(),
+		"admitted_total": m.AdmittedTotal.Load(),
+		"admission_busy": m.AdmissionBusy.Load(),
+		"completed":      m.Completed.Load(),
+		"evicted":        m.Evicted.Load(),
+		"bytes_out":      m.BytesOut.Total(),
 	}
-	return n, vals
 }
 
 // Line renders the expvar-style single-line METRICS response body:
 // space-separated key=value pairs, stable key order. admitted is the
 // current admission-controller gauge, passed in by the server because
 // the controller lives behind its lock, not here.
+//
+// The lag quantile keys are omitted while lag_samples=0: a reader must
+// never mistake "no data yet" for "true zero lag" (previously both
+// rendered as lag_p50_ms=0.000).
 func (m *Metrics) Line(admitted int) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "accepted=%d", m.Accepted.Load())
 	fmt.Fprintf(&b, " sheds=%d", m.Sheds.Load())
 	fmt.Fprintf(&b, " reaped=%d", m.Reaped.Load())
+	fmt.Fprintf(&b, " aborted=%d", m.Aborted.Load())
 	fmt.Fprintf(&b, " bad_requests=%d", m.BadRequests.Load())
 	fmt.Fprintf(&b, " admitted=%d", admitted)
 	fmt.Fprintf(&b, " admitted_total=%d", m.AdmittedTotal.Load())
@@ -95,12 +96,18 @@ func (m *Metrics) Line(admitted int) string {
 	fmt.Fprintf(&b, " active_streams=%d", m.ActiveStreams.Load())
 	fmt.Fprintf(&b, " completed=%d", m.Completed.Load())
 	fmt.Fprintf(&b, " evicted=%d", m.Evicted.Load())
-	fmt.Fprintf(&b, " bytes_out=%d", m.BytesOut.Load())
-	names := [...]string{"lag_p50_ms", "lag_p95_ms", "lag_p99_ms"}
-	n, vals := m.lagSnapshot([]float64{0.50, 0.95, 0.99})
-	fmt.Fprintf(&b, " lag_samples=%d", n)
-	for i, name := range names {
-		fmt.Fprintf(&b, " %s=%.3f", name, vals[i]*1e3)
+	fmt.Fprintf(&b, " bytes_out=%d", m.BytesOut.Total())
+	// One snapshot serves both the count and the quantiles, so the line
+	// can never pair lag_samples=0 with a nonzero quantile (torn read).
+	snap := m.Lag.Snapshot()
+	fmt.Fprintf(&b, " lag_samples=%d", snap.N)
+	if snap.N > 0 {
+		names := [...]string{"lag_p50_ms", "lag_p95_ms", "lag_p99_ms"}
+		qs := [...]float64{0.50, 0.95, 0.99}
+		for i, name := range names {
+			v, _ := snap.Quantile(qs[i])
+			fmt.Fprintf(&b, " %s=%.3f", name, v*1e3)
+		}
 	}
 	return b.String()
 }

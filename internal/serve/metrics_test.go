@@ -21,8 +21,13 @@ func parseLine(t *testing.T, line string) map[string]string {
 	return kv
 }
 
-func TestMetricsLineKeysAndZeroQuantiles(t *testing.T) {
-	m := newMetrics(1)
+// Regression: with zero lag samples the line used to render
+// lag_p50_ms=0.000, indistinguishable from true zero lag. The quantile
+// keys must be omitted until at least one sample exists, and appear once
+// one does — including a genuine zero-lag sample, which then correctly
+// renders 0.000 alongside lag_samples=1.
+func TestMetricsLineOmitsQuantilesWithoutSamples(t *testing.T) {
+	m := newMetrics()
 	kv := parseLine(t, m.Line(3))
 	if kv["admitted"] != "3" {
 		t.Errorf("admitted = %q, want 3", kv["admitted"])
@@ -31,8 +36,22 @@ func TestMetricsLineKeysAndZeroQuantiles(t *testing.T) {
 		t.Errorf("lag_samples = %q, want 0", kv["lag_samples"])
 	}
 	for _, k := range []string{"lag_p50_ms", "lag_p95_ms", "lag_p99_ms"} {
+		if v, present := kv[k]; present {
+			t.Errorf("%s = %q present with no samples; key must be omitted", k, v)
+		}
+	}
+	if _, present := kv["aborted"]; !present {
+		t.Error("aborted key missing from METRICS line")
+	}
+
+	m.ObserveLag(0) // a true zero-lag quantum
+	kv = parseLine(t, m.Line(3))
+	if kv["lag_samples"] != "1" {
+		t.Errorf("lag_samples = %q after one observation, want 1", kv["lag_samples"])
+	}
+	for _, k := range []string{"lag_p50_ms", "lag_p95_ms", "lag_p99_ms"} {
 		if kv[k] != "0.000" {
-			t.Errorf("%s = %q, want 0.000 with no samples", k, kv[k])
+			t.Errorf("%s = %q, want 0.000 (true zero lag, now distinguishable by lag_samples=1)", k, kv[k])
 		}
 	}
 }
@@ -40,11 +59,12 @@ func TestMetricsLineKeysAndZeroQuantiles(t *testing.T) {
 // TestMetricsLineNotTorn is the regression test for a torn METRICS line:
 // Line used to read lag_samples and each quantile under separate lock
 // acquisitions, so a concurrent ObserveLag could land between them and
-// produce lag_samples=0 alongside a nonzero lag_p50_ms. With the
-// single-lock snapshot that combination is impossible. Run under -race
-// this also proves the snapshot path is properly locked.
+// produce lag_samples=0 alongside a nonzero lag_p50_ms. The histogram
+// rendering derives both from one snapshot, so that combination stays
+// impossible; run under -race this also proves the lock-free observe and
+// snapshot paths are data-race-free.
 func TestMetricsLineNotTorn(t *testing.T) {
-	m := newMetrics(1)
+	m := newMetrics()
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	for w := 0; w < 4; w++ {
@@ -68,12 +88,18 @@ func TestMetricsLineNotTorn(t *testing.T) {
 			t.Fatalf("bad lag_samples %q: %v", kv["lag_samples"], err)
 		}
 		for _, k := range []string{"lag_p50_ms", "lag_p95_ms", "lag_p99_ms"} {
-			v, err := strconv.ParseFloat(kv[k], 64)
-			if err != nil {
-				t.Fatalf("bad %s %q: %v", k, kv[k], err)
+			v, present := kv[k]
+			if n == 0 {
+				if present {
+					t.Fatalf("torn line: lag_samples=0 but %s=%v rendered", k, v)
+				}
+				continue
 			}
-			if n == 0 && v != 0 {
-				t.Fatalf("torn line: lag_samples=0 but %s=%v", k, v)
+			if !present {
+				t.Fatalf("lag_samples=%d but %s missing", n, k)
+			}
+			if _, err := strconv.ParseFloat(v, 64); err != nil {
+				t.Fatalf("bad %s %q: %v", k, v, err)
 			}
 		}
 	}

@@ -36,6 +36,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"memstream/internal/model"
@@ -74,8 +75,6 @@ type Config struct {
 	MaxConns     int           // concurrent-connection cap (BUSY shed beyond it)
 	Quantum      time.Duration // pacing quantum
 
-	MetricsSeed uint64 // seeds the pacing-lag reservoir (reproducible tests)
-
 	Logf func(format string, args ...any) // nil = silent
 }
 
@@ -84,9 +83,30 @@ type Server struct {
 	cfg     Config
 	sem     chan struct{}
 	metrics *Metrics
+	started time.Time
 
-	mu    sync.Mutex // guards adm (MixedAdmission is not goroutine-safe) and conns
-	conns map[net.Conn]struct{}
+	// drainCh triggers the graceful drain from inside the process (the
+	// control plane's POST /drain), equivalent to cancelling Serve's ctx.
+	drainOnce sync.Once
+	drainCh   chan struct{}
+	draining  atomic.Bool
+
+	nextStreamID atomic.Uint64
+
+	mu      sync.Mutex // guards adm (MixedAdmission is not goroutine-safe), conns, and streams
+	conns   map[net.Conn]struct{}
+	streams map[uint64]*streamState
+}
+
+// streamState is one live paced stream's control-plane record: identity
+// for POST /streams/{id}/stop and the per-stream byte gauge the /metrics
+// document reports. bytes is written only by the stream's own goroutine.
+type streamState struct {
+	id    uint64
+	rate  units.ByteRate
+	start time.Time
+	conn  net.Conn
+	bytes atomic.Uint64
 }
 
 // New validates cfg, fills defaults, and builds a Server.
@@ -115,8 +135,11 @@ func New(cfg Config) (*Server, error) {
 	return &Server{
 		cfg:     cfg,
 		sem:     make(chan struct{}, cfg.MaxConns),
-		metrics: newMetrics(cfg.MetricsSeed),
+		metrics: newMetrics(),
+		started: time.Now(),
+		drainCh: make(chan struct{}),
 		conns:   make(map[net.Conn]struct{}),
+		streams: make(map[uint64]*streamState),
 	}, nil
 }
 
@@ -154,16 +177,19 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	go func() {
 		select {
 		case <-ctx.Done():
-			ln.Close() // unblocks Accept
+		case <-s.drainCh: // control-plane POST /drain
 		case <-stop:
+			return
 		}
+		s.draining.Store(true)
+		ln.Close() // unblocks Accept
 	}()
 
 	var wg sync.WaitGroup
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+			if ctx.Err() != nil || s.draining.Load() || errors.Is(err, net.ErrClosed) {
 				break
 			}
 			s.logf("serve: accept: %v", err)
@@ -195,6 +221,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	// Graceful drain: accepting has stopped; in-flight streams may finish
 	// up to the deadline, then the rest are force-closed (their write
 	// paths error out and unwind, releasing their slots).
+	s.draining.Store(true)
 	done := make(chan struct{})
 	go func() { wg.Wait(); close(done) }()
 	timer := time.NewTimer(s.cfg.DrainTimeout)
@@ -217,6 +244,51 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		s.logf("serve: drain reclaimed %d leaked admission slots", leaked)
 	}
 	return nil
+}
+
+// Drain triggers the graceful drain from inside the process — the
+// control plane's POST /drain. Equivalent to cancelling the Serve
+// context; safe to call repeatedly and before Serve starts.
+func (s *Server) Drain() {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		close(s.drainCh)
+	})
+}
+
+// Draining reports whether the server has begun (or finished) draining.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Started returns the supervisor's construction time (uptime anchor).
+func (s *Server) Started() time.Time { return s.started }
+
+// StopStream force-closes the live stream with the given id — the
+// control plane's POST /streams/{id}/stop. The stream's write path
+// errors out with net.ErrClosed and unwinds, releasing its admission
+// slot and counting under Evicted (a server-initiated kill, exactly like
+// a drain force-close). It reports whether the id named a live stream.
+func (s *Server) StopStream(id uint64) bool {
+	s.mu.Lock()
+	st, ok := s.streams[id]
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	st.conn.Close()
+	return true
+}
+
+// registerStream records a newly admitted stream for the control plane.
+func (s *Server) registerStream(st *streamState) {
+	s.mu.Lock()
+	s.streams[st.id] = st
+	s.mu.Unlock()
+}
+
+func (s *Server) deregisterStream(id uint64) {
+	s.mu.Lock()
+	delete(s.streams, id)
+	s.mu.Unlock()
 }
 
 // shed refuses one connection with a fast BUSY line. The short deadline
@@ -268,12 +340,22 @@ func (s *Server) handle(conn net.Conn) {
 	r := bufio.NewReaderSize(io.LimitReader(conn, maxRequestLine), maxRequestLine)
 	line, err := r.ReadString('\n')
 	if err != nil {
-		// Timeout: a slowloris (or silent) client held the line open
-		// without completing a request — reap it. Size-limit EOF means
-		// the "line" never terminated inside maxRequestLine: same reap.
 		var ne net.Error
-		if errors.As(err, &ne) && ne.Timeout() || errors.Is(err, io.EOF) && len(line) > 0 {
+		switch {
+		case errors.As(err, &ne) && ne.Timeout():
+			// Read deadline: a slowloris (or silent) client held the line
+			// open without completing a request — reap it.
 			s.metrics.Reaped.Add(1)
+		case errors.Is(err, io.EOF) && len(line) >= maxRequestLine:
+			// Size-limit EOF: the "line" never terminated inside
+			// maxRequestLine — a byte-bounded slowloris, same reap.
+			s.metrics.Reaped.Add(1)
+		case len(line) > 0:
+			// The client started a request and disconnected before
+			// finishing it: an abort, not a reap — the server never timed
+			// anything out. (A clean connect-and-close with no bytes sent
+			// stays uncounted: no request was ever started.)
+			s.metrics.Aborted.Add(1)
 		}
 		return
 	}
@@ -324,25 +406,38 @@ func (s *Server) play(conn net.Conn, fields []string) {
 	}
 	s.metrics.AdmittedTotal.Add(1)
 	s.metrics.ActiveStreams.Add(1)
+	st := &streamState{id: s.nextStreamID.Add(1), rate: rate, start: time.Now(), conn: conn}
+	s.registerStream(st)
 	defer func() {
+		s.deregisterStream(st.id)
 		s.mu.Lock()
 		s.cfg.Admission.Release(rate)
 		s.mu.Unlock()
 		s.metrics.ActiveStreams.Add(-1)
 	}()
 	if err := s.writeLine(conn, "OK streaming at %v", rate); err != nil {
-		s.metrics.Evicted.Add(1)
+		// The client vanished before a single paced chunk was written:
+		// that is an abort, not an eviction — the server never had to
+		// kill anything.
+		s.metrics.Aborted.Add(1)
 		return
 	}
-	s.stream(conn, rate)
+	s.stream(st)
 }
 
-// stream paces synthetic data to conn at the requested rate. Each chunk
-// is due at an absolute quantum boundary anchored to the stream's start
-// on the monotonic clock; the pacer carries fractional bytes, so any
-// positive rate eventually reaches the byte budget. A write that misses
-// the write deadline evicts the client.
-func (s *Server) stream(conn net.Conn, rate units.ByteRate) {
+// stream paces synthetic data to the stream's connection at its admitted
+// rate. Each chunk is due at an absolute quantum boundary anchored to the
+// stream's start on the monotonic clock; the pacer carries fractional
+// bytes, so any positive rate eventually reaches the byte budget.
+//
+// A failed chunk write ends the stream under one of two counters:
+// Evicted when the server killed it (the write deadline expired on a
+// stalled reader, or drain/StopStream closed the connection out from
+// under us — net.ErrClosed), Aborted when the client simply vanished
+// (reset/EPIPE). Lumping those together previously made server-initiated
+// kills indistinguishable from client churn.
+func (s *Server) stream(st *streamState) {
+	conn, rate := st.conn, st.rate
 	pacer := units.NewPacer(rate, s.cfg.Quantum)
 	start := time.Now()
 	bufSize := int(units.BytesIn(rate, s.cfg.Quantum)) + 1
@@ -353,6 +448,7 @@ func (s *Server) stream(conn net.Conn, rate units.ByteRate) {
 	for i := range buf {
 		buf[i] = byte('A' + i%26)
 	}
+	bytesOut := s.metrics.BytesOut.Handle() // pinned shard: uncontended per-chunk adds
 	var sent units.Bytes
 	timer := time.NewTimer(0)
 	defer timer.Stop()
@@ -373,10 +469,16 @@ func (s *Server) stream(conn net.Conn, rate units.ByteRate) {
 			}
 			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 			if _, err := conn.Write(buf[:m]); err != nil {
-				s.metrics.Evicted.Add(1)
+				var ne net.Error
+				if (errors.As(err, &ne) && ne.Timeout()) || errors.Is(err, net.ErrClosed) {
+					s.metrics.Evicted.Add(1)
+				} else {
+					s.metrics.Aborted.Add(1)
+				}
 				return
 			}
-			s.metrics.BytesOut.Add(uint64(m))
+			bytesOut.Add(uint64(m))
+			st.bytes.Add(uint64(m))
 			sent += units.Bytes(m)
 			n -= m
 			if s.cfg.Limit > 0 && sent >= s.cfg.Limit {

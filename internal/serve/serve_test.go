@@ -115,6 +115,99 @@ func TestOversizeRequestLineReaped(t *testing.T) {
 	}
 }
 
+// Regression for the Reaped miscount: a client that writes a partial
+// request line and disconnects used to be counted as a slowloris reap.
+// The server never timed anything out — that is an abort.
+func TestPartialLineDisconnectCountsAborted(t *testing.T) {
+	s := newTestServer(t, testConfig(1*units.GB))
+	client, done := runHandle(t, s)
+	if _, err := client.Write([]byte("PLA")); err != nil {
+		t.Fatal(err)
+	}
+	client.Close() // vanish mid-request-line
+	waitDone(t, done, 2*time.Second, "partial line disconnect")
+	if got := s.metrics.Aborted.Load(); got != 1 {
+		t.Errorf("Aborted = %d, want 1", got)
+	}
+	if got := s.metrics.Reaped.Load(); got != 0 {
+		t.Errorf("Reaped = %d, want 0 (no deadline fired)", got)
+	}
+}
+
+// A clean connect-and-close with no bytes sent counts under neither
+// Reaped nor Aborted: no request was ever started (health probes must
+// not pollute the outcome counters).
+func TestSilentCleanCloseUncounted(t *testing.T) {
+	s := newTestServer(t, testConfig(1*units.GB))
+	client, done := runHandle(t, s)
+	client.Close()
+	waitDone(t, done, 2*time.Second, "clean close")
+	if got := s.metrics.Reaped.Load(); got != 0 {
+		t.Errorf("Reaped = %d, want 0", got)
+	}
+	if got := s.metrics.Aborted.Load(); got != 0 {
+		t.Errorf("Aborted = %d, want 0", got)
+	}
+}
+
+// Regression for the Evicted miscount: a client that vanishes before the
+// "OK streaming" banner is written used to count as an eviction even
+// though no paced chunk was ever sent. It aborts; the slot still comes
+// back.
+func TestBannerWriteFailureCountsAborted(t *testing.T) {
+	s := newTestServer(t, testConfig(1*units.GB))
+	client, done := runHandle(t, s)
+	if _, err := client.Write([]byte("PLAY 100KB\n")); err != nil {
+		t.Fatal(err)
+	}
+	client.Close() // gone before reading the banner
+	waitDone(t, done, 2*time.Second, "banner write failure")
+	if got := s.metrics.Aborted.Load(); got != 1 {
+		t.Errorf("Aborted = %d, want 1", got)
+	}
+	if got := s.metrics.Evicted.Load(); got != 0 {
+		t.Errorf("Evicted = %d, want 0 (server never killed anything)", got)
+	}
+	if got := s.Admitted(); got != 0 {
+		t.Errorf("Admitted = %d after abort, want 0", got)
+	}
+	if got := s.metrics.ActiveStreams.Load(); got != 0 {
+		t.Errorf("ActiveStreams = %d after abort, want 0", got)
+	}
+}
+
+// A client that disconnects mid-stream (read some chunks, then gone) is
+// an abort, not an eviction: Evicted stays strictly "the server killed
+// it" (write deadline or drain/stop force-close).
+func TestMidStreamDisconnectCountsAborted(t *testing.T) {
+	cfg := testConfig(1 * units.GB)
+	cfg.Limit = 0 // unlimited: the stream ends only when the client goes away
+	s := newTestServer(t, cfg)
+	client, done := runHandle(t, s)
+	if _, err := client.Write([]byte("PLAY 100KB\n")); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(client)
+	if line, err := r.ReadString('\n'); err != nil || !strings.HasPrefix(line, "OK streaming") {
+		t.Fatalf("PLAY response = %q, %v", line, err)
+	}
+	buf := make([]byte, 4096)
+	if _, err := r.Read(buf); err != nil { // at least one paced chunk arrived
+		t.Fatal(err)
+	}
+	client.Close() // vanish mid-stream
+	waitDone(t, done, 2*time.Second, "mid-stream disconnect")
+	if got := s.metrics.Aborted.Load(); got != 1 {
+		t.Errorf("Aborted = %d, want 1", got)
+	}
+	if got := s.metrics.Evicted.Load(); got != 0 {
+		t.Errorf("Evicted = %d, want 0", got)
+	}
+	if got := s.Admitted(); got != 0 {
+		t.Errorf("Admitted = %d after abort, want 0", got)
+	}
+}
+
 // The eviction guarantee: a client that stops reading mid-stream loses
 // its connection within the write deadline and its admission slot is
 // returned — stalled clients cannot pin Theorem 1 capacity.
@@ -256,10 +349,14 @@ func TestStatAndMetricsCommands(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{"accepted=", "sheds=", "reaped=", "admitted=", "evicted=", "bytes_out=", "lag_p95_ms="} {
+	for _, key := range []string{"accepted=", "sheds=", "reaped=", "aborted=", "admitted=", "evicted=", "bytes_out=", "lag_samples=0"} {
 		if !strings.Contains(line, key) {
 			t.Errorf("METRICS response %q missing %q", line, key)
 		}
+	}
+	// No streams have run: the lag quantile keys must be absent, not 0.000.
+	if strings.Contains(line, "lag_p95_ms=") {
+		t.Errorf("METRICS response %q renders lag quantiles with lag_samples=0", line)
 	}
 	waitDone(t, done2, 2*time.Second, "METRICS")
 }

@@ -66,6 +66,71 @@ func TestPacerDeadlineAnchored(t *testing.T) {
 	}
 }
 
+// The catch-up contract the serving loop relies on after a blocked
+// write: a stall of k quanta leaves the pacer k boundaries behind the
+// wall clock, and the loop then calls Next repeatedly with no sleep in
+// between (every Deadline is already past). Those catch-up calls must
+// (a) emit exactly the owed rate × stall bytes cumulatively, (b) stay
+// bounded per call — one quantum's worth each, never one giant
+// stall-sized chunk — and (c) keep Deadline anchored to stream start,
+// so the schedule never shifts by the stall.
+func TestPacerCatchUpAfterStall(t *testing.T) {
+	const (
+		rate    = 100 * KBPS // 10000 B per 100ms quantum
+		quantum = 100 * time.Millisecond
+		perQ    = 10000
+	)
+	p := NewPacer(rate, quantum)
+	start := time.Unix(1000, 0)
+
+	// 5 on-schedule quanta.
+	for i := 1; i <= 5; i++ {
+		if n := p.Next(); n != perQ {
+			t.Fatalf("quantum %d: chunk = %d, want %d", i, n, perQ)
+		}
+		if got, want := p.Deadline(start), start.Add(time.Duration(i)*quantum); !got.Equal(want) {
+			t.Fatalf("quantum %d: Deadline = %v, want %v", i, got, want)
+		}
+	}
+
+	// A 7-quantum stall: the writer was blocked, no Next calls happened.
+	// The loop resumes and drains the owed quanta back-to-back.
+	const stall = 7
+	owed := 0
+	for i := 0; i < stall; i++ {
+		n := p.Next()
+		if n > perQ+1 {
+			t.Fatalf("catch-up call %d emitted %d bytes; must stay bounded by one quantum's %d", i, n, perQ)
+		}
+		owed += n
+	}
+	if owed != stall*perQ {
+		t.Errorf("catch-up emitted %d bytes over %d quanta, want the owed %d", owed, stall, stall*perQ)
+	}
+	// Deadline is still start-anchored: 12 quanta issued in total, so the
+	// boundary is start+12q regardless of when the calls actually ran.
+	if got, want := p.Deadline(start), start.Add(12*quantum); !got.Equal(want) {
+		t.Errorf("Deadline after stall catch-up = %v, want start-anchored %v", got, want)
+	}
+}
+
+// Catch-up with a fractional-rate pacer: the owed bytes across a stall
+// keep the cumulative budget exact (no double-count, no loss), even when
+// single quanta owe fractional bytes.
+func TestPacerCatchUpFractionalExact(t *testing.T) {
+	p := NewPacer(7*BPS, 100*time.Millisecond) // 0.7 bytes per quantum
+	total := 0
+	for i := 0; i < 10; i++ { // 1s on schedule
+		total += p.Next()
+	}
+	for i := 0; i < 30; i++ { // 3s stall drained in a burst
+		total += p.Next()
+	}
+	if total != 28 { // 7 B/s × 4s
+		t.Errorf("cumulative bytes = %d, want 28", total)
+	}
+}
+
 func TestPacerPanicsOnBadQuantum(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -41,9 +41,9 @@ TMP_PERF="$(mktemp)"
 TMP_ART="$(mktemp -d)"
 trap 'rm -rf "$TMP_BENCH" "$TMP_PERF" "$TMP_ART"' EXIT
 
-echo "bench: internal/sim microbenchmarks" >&2
+echo "bench: internal/sim + internal/metrics microbenchmarks" >&2
 go test -run '^$' -bench "${BENCH_PATTERN:-.}" -benchmem \
-    -benchtime "${BENCH_TIME:-1s}" ./internal/sim/ | tee "$TMP_BENCH" >&2
+    -benchtime "${BENCH_TIME:-1s}" ./internal/sim/ ./internal/metrics/ | tee "$TMP_BENCH" >&2
 
 echo "bench: experiment suite (memsbench -perf)" >&2
 go run ./cmd/memsbench -parallel 1 -perf "$TMP_PERF" -out "$TMP_ART" >/dev/null
