@@ -24,11 +24,12 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# bench-sim runs the hot-path microbenchmarks — the simulation kernel
-# plus the lock-free metrics collector — the set CI compares old-vs-new
-# with benchstat. BENCH_COUNT>1 gives benchstat samples to work with.
+# bench-sim runs the hot-path microbenchmarks — the simulation kernel,
+# the lock-free metrics collector, the timer wheel, and the serve data
+# plane — the set CI compares old-vs-new with benchstat. BENCH_COUNT>1
+# gives benchstat samples to work with.
 bench-sim:
-	$(GO) test -run '^$$' -bench . -benchmem -count $(or $(BENCH_COUNT),1) ./internal/sim/ ./internal/metrics/
+	$(GO) test -run '^$$' -bench . -benchmem -count $(or $(BENCH_COUNT),1) ./internal/sim/ ./internal/metrics/ ./internal/wheel/ ./internal/serve/
 
 # bench-record appends one BENCH_<n>.json point to the kernel performance
 # trajectory (microbenchmarks + per-experiment events/sec).

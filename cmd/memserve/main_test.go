@@ -17,18 +17,38 @@ import (
 	"memstream/internal/units"
 )
 
+// buildOpts is the test baseline: defaults everywhere, with overrides
+// applied by the caller.
+func buildOpts() options {
+	return options{dram: "1GB", rate: "100KB", limit: "1MB"}
+}
+
 func TestBuildValidatesFlags(t *testing.T) {
-	if _, err := build("nonsense", "100KB", "1MB", 0, 0, 0, 0, 0); err == nil {
-		t.Error("bad -dram accepted")
+	for _, c := range []struct {
+		name   string
+		mutate func(*options)
+	}{
+		{"bad -dram", func(o *options) { o.dram = "nonsense" }},
+		{"bad -bitrate", func(o *options) { o.rate = "fast" }},
+		{"bad -limit", func(o *options) { o.limit = "much" }},
+		{"bad -pacing", func(o *options) { o.pacing = "heap" }},
+	} {
+		o := buildOpts()
+		c.mutate(&o)
+		if srv, err := build(o); err == nil {
+			srv.Close()
+			t.Errorf("%s accepted", c.name)
+		}
 	}
-	if _, err := build("1GB", "fast", "1MB", 0, 0, 0, 0, 0); err == nil {
-		t.Error("bad -bitrate accepted")
-	}
-	if _, err := build("1GB", "100KB", "much", 0, 0, 0, 0, 0); err == nil {
-		t.Error("bad -limit accepted")
-	}
-	if _, err := build("1GB", "100KB", "1MB", 0, 0, 0, 0, 0); err != nil {
-		t.Errorf("defaults rejected: %v", err)
+	for _, pacing := range []string{"", "goroutine", "wheel"} {
+		o := buildOpts()
+		o.pacing = pacing
+		srv, err := build(o)
+		if err != nil {
+			t.Errorf("pacing %q rejected: %v", pacing, err)
+			continue
+		}
+		srv.Close()
 	}
 }
 
@@ -37,10 +57,11 @@ func TestBuildValidatesFlags(t *testing.T) {
 // overcommits whole-surface layouts. The capacity yardstick is therefore
 // strictly lower than an OuterRate plan would claim.
 func TestCapacityUsesEffectiveRate(t *testing.T) {
-	srv, err := build("1GB", "100KB", "1MB", 0, 0, 0, 0, 0)
+	srv, err := build(buildOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer srv.Close()
 	p := disk.FutureDisk()
 	d, err := disk.New(p)
 	if err != nil {
@@ -67,11 +88,18 @@ func TestCapacityUsesEffectiveRate(t *testing.T) {
 // serve.Serve) must stop accepting, evict the in-flight stream at the
 // drain deadline, release its slot, and return nil — exit code 0.
 func TestSigtermDrainReleasesSlots(t *testing.T) {
-	srv, err := build("1GB", "100KB", "0", 100*time.Millisecond, 100*time.Millisecond,
-		300*time.Millisecond, 16, 10*time.Millisecond)
+	o := buildOpts()
+	o.limit = "0"
+	o.readTO = 100 * time.Millisecond
+	o.writeTO = 100 * time.Millisecond
+	o.drain = 300 * time.Millisecond
+	o.maxConns = 16
+	o.quantum = 10 * time.Millisecond
+	srv, err := build(o)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer srv.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -117,5 +145,85 @@ func TestSigtermDrainReleasesSlots(t *testing.T) {
 	}
 	if got := srv.Metrics().Evicted.Load(); got != 1 {
 		t.Errorf("Evicted = %d, want 1 (the unlimited stream force-closed at the deadline)", got)
+	}
+}
+
+// End-to-end wheel plane through the real wiring: -pacing=wheel serves a
+// PLAY to completion over TCP and the METRICS line shows the wheel
+// actually drove the stream (nonzero ticks and fires).
+func TestWheelPacingEndToEnd(t *testing.T) {
+	o := buildOpts()
+	o.limit = "32KB"
+	o.quantum = 5 * time.Millisecond
+	o.pacing = "wheel"
+	o.writers = 2
+	srv, err := build(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ctx, ln) }()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("PLAY 500KB\n")); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(conn)
+	line, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(line, "OK streaming") {
+		t.Fatalf("PLAY response = %q", line)
+	}
+	body, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) != 32000 { // ParseBytes("32KB") is decimal
+		t.Errorf("streamed %d bytes, want 32000", len(body))
+	}
+
+	metricsConn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer metricsConn.Close()
+	if _, err := metricsConn.Write([]byte("METRICS\n")); err != nil {
+		t.Fatal(err)
+	}
+	mline, err := bufio.NewReader(metricsConn).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(mline, "completed=1") {
+		t.Errorf("METRICS %q missing completed=1", mline)
+	}
+	if strings.Contains(mline, "wheel_ticks=0 ") || !strings.Contains(mline, "wheel_ticks=") {
+		t.Errorf("METRICS %q: wheel plane idle, want nonzero wheel_ticks", mline)
+	}
+	if strings.Contains(mline, "wheel_fires=0") {
+		t.Errorf("METRICS %q: wheel never fired a stream", mline)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("Serve returned %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after cancel")
 	}
 }

@@ -25,6 +25,12 @@
 //	         # (/metrics before vs after) against the client-side tallies:
 //	         # every admitted stream must land in exactly one of
 //	         # completed/evicted/aborted, with no reaped cross-counting
+//	memsload -addr 127.0.0.1:9090 -http-metrics http://127.0.0.1:9091 \
+//	         -sweep 100,500,1000 -duration 3s -sweep-json sweep.json
+//	         # population scaling sweep: run each step's client count,
+//	         # report per-step admitted/evicted/aborted and pacing-lag
+//	         # quantiles from the server's /metrics histogram-bucket
+//	         # deltas (per-step, not cumulative), optionally as JSON
 package main
 
 import (
@@ -34,10 +40,12 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -98,6 +106,8 @@ func main() {
 	drained := flag.Duration("drained", 0, "poll STAT until admitted=0 or this timeout; exit 1 on timeout")
 	httpMetrics := flag.String("http-metrics", "", "probe the HTTP control plane at this base URL: fetch /status and /metrics, print flattened key=value lines, exit")
 	verifyHTTP := flag.String("verify-http", "", "with a load run: fetch /metrics before and after and verify server counter deltas against client-side tallies")
+	sweep := flag.String("sweep", "", "comma-separated stream populations: run each step as a full client cohort and report per-step counter deltas and lag quantiles (requires -http-metrics as the control-plane base URL)")
+	sweepJSON := flag.String("sweep-json", "", "with -sweep: also write the per-step results as JSON to this path")
 	flag.Parse()
 
 	switch {
@@ -105,6 +115,14 @@ func main() {
 		oneShot(*addr, "STAT")
 	case *metricsLine:
 		oneShot(*addr, "METRICS")
+	case *sweep != "":
+		if *httpMetrics == "" {
+			log.Fatalf("memsload: -sweep needs -http-metrics <base URL> to collect per-step counter and histogram deltas")
+		}
+		cfg := config{addr: *addr, rate: *rate, duration: *duration}
+		if err := runSweep(os.Stdout, *httpMetrics, cfg, *sweep, *sweepJSON); err != nil {
+			log.Fatalf("memsload: sweep: %v", err)
+		}
 	case *httpMetrics != "":
 		if err := probeHTTP(os.Stdout, *httpMetrics); err != nil {
 			log.Fatalf("memsload: http probe: %v", err)
@@ -215,19 +233,8 @@ func probeHTTP(w io.Writer, base string) error {
 // the server complete a stream its client believes was stalled). The
 // smoke invokes it exactly that way.
 func verifyAgainstHTTP(base string, before *metrics.Document, rep *report) error {
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		var st metrics.Status
-		if err := fetchJSON(base, "/status", &st); err != nil {
-			return err
-		}
-		if st.ActiveStreams == 0 && st.Admitted == 0 {
-			break
-		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("server did not settle: %d streams / %d admitted still live", st.ActiveStreams, st.Admitted)
-		}
-		time.Sleep(50 * time.Millisecond)
+	if err := waitSettled(base, 10*time.Second); err != nil {
+		return err
 	}
 	after, err := fetchMetrics(base)
 	if err != nil {
@@ -275,6 +282,191 @@ func verifyDeltas(before, after map[string]uint64, rep *report) []string {
 		problems = append(problems, fmt.Sprintf("bytes_out: server delta %d < client bytes read %d", got, min))
 	}
 	return problems
+}
+
+// waitSettled polls /status until the server reports no live streams and
+// no held admission slots — the boundary between two measurement windows.
+func waitSettled(base string, within time.Duration) error {
+	deadline := time.Now().Add(within)
+	for {
+		var st metrics.Status
+		if err := fetchJSON(base, "/status", &st); err != nil {
+			return err
+		}
+		if st.ActiveStreams == 0 && st.Admitted == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server did not settle: %d streams / %d admitted still live", st.ActiveStreams, st.Admitted)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// sweepStep is one population step of a -sweep run: the server-side
+// counter deltas over exactly this step's window plus the pacing-lag
+// quantiles recomputed from the /metrics histogram-bucket deltas — the
+// server's cumulative quantiles would let earlier (smaller, faster)
+// steps dilute later ones, so each step subtracts its own baseline.
+type sweepStep struct {
+	Streams    int     `json:"streams"`
+	Admitted   uint64  `json:"admitted"`
+	Busy       uint64  `json:"busy"`
+	Errors     int     `json:"errors"`
+	Completed  uint64  `json:"completed"`
+	Evicted    uint64  `json:"evicted"`
+	Aborted    uint64  `json:"aborted"`
+	BytesOut   uint64  `json:"bytes_out"`
+	WheelFires uint64  `json:"wheel_fires"`
+	LagSamples uint64  `json:"lag_samples"`
+	LagP50MS   float64 `json:"lag_p50_ms"`
+	LagP95MS   float64 `json:"lag_p95_ms"`
+	LagP99MS   float64 `json:"lag_p99_ms"`
+	WallMS     float64 `json:"wall_ms"`
+}
+
+// sweepReport is the -sweep-json document.
+type sweepReport struct {
+	Schema     string      `json:"schema"` // "memsload-sweep/v1"
+	Rate       string      `json:"rate"`
+	DurationMS float64     `json:"duration_ms"`
+	Steps      []sweepStep `json:"steps"`
+}
+
+// runSweep is the -sweep mode: one full client cohort per population
+// step, bracketed by /metrics fetches so every reported figure is this
+// step's delta. Between steps it waits for the server to settle back to
+// zero live streams, so populations never overlap. Client-side errors
+// (e.g. dial failures at fd-exhausting populations) are recorded in the
+// step rather than aborting the sweep — a saturated step is a result.
+func runSweep(w io.Writer, base string, cfg config, list, jsonPath string) error {
+	pops, err := parsePopulations(list)
+	if err != nil {
+		return err
+	}
+	out := sweepReport{Schema: "memsload-sweep/v1", Rate: cfg.rate, DurationMS: float64(cfg.duration) / 1e6}
+	for _, n := range pops {
+		before, err := fetchMetrics(base)
+		if err != nil {
+			return err
+		}
+		stepCfg := cfg
+		stepCfg.clients = n
+		rep, err := run(stepCfg)
+		if err != nil {
+			return fmt.Errorf("streams=%d: %v", n, err)
+		}
+		if err := waitSettled(base, cfg.duration+30*time.Second); err != nil {
+			return fmt.Errorf("streams=%d: %v", n, err)
+		}
+		after, err := fetchMetrics(base)
+		if err != nil {
+			return err
+		}
+		step := buildSweepStep(n, rep, before, after)
+		fmt.Fprintf(w, "sweep streams=%d: admitted=%d busy=%d errors=%d completed=%d evicted=%d aborted=%d bytes_out=%d lag_samples=%d lag_p50_ms=%.3f lag_p95_ms=%.3f lag_p99_ms=%.3f wall_ms=%.0f\n",
+			step.Streams, step.Admitted, step.Busy, step.Errors, step.Completed,
+			step.Evicted, step.Aborted, step.BytesOut, step.LagSamples,
+			step.LagP50MS, step.LagP95MS, step.LagP99MS, step.WallMS)
+		out.Steps = append(out.Steps, step)
+	}
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildSweepStep folds one step's client report and its bracketing
+// /metrics documents into the per-step delta record.
+func buildSweepStep(n int, rep *report, before, after *metrics.Document) sweepStep {
+	delta := func(k string) uint64 { return after.Counters[k] - before.Counters[k] }
+	return sweepStep{
+		Streams:    n,
+		Admitted:   delta("admitted_total"),
+		Busy:       delta("admission_busy"),
+		Errors:     rep.Errors,
+		Completed:  delta("completed"),
+		Evicted:    delta("evicted"),
+		Aborted:    delta("aborted"),
+		BytesOut:   delta("bytes_out"),
+		WheelFires: delta("wheel_fires"),
+		LagSamples: after.Lag.Count - before.Lag.Count,
+		LagP50MS:   lagDeltaQuantile(before.Lag, after.Lag, 0.50),
+		LagP95MS:   lagDeltaQuantile(before.Lag, after.Lag, 0.95),
+		LagP99MS:   lagDeltaQuantile(before.Lag, after.Lag, 0.99),
+		WallMS:     float64(rep.Wall) / 1e6,
+	}
+}
+
+// lagDeltaQuantile estimates the q-quantile (ms) of the lag samples
+// recorded between two /metrics documents by subtracting the earlier
+// histogram's per-bucket counts from the later one's. Bucket-resolution
+// like the server's own quantiles, reporting the bucket's upper bound;
+// 0 when the window recorded no samples. A rank landing in the overflow
+// bucket reports the histogram ceiling — still a finite, JSON-safe
+// number that reads as "beyond the instrumented range".
+func lagDeltaQuantile(before, after metrics.HistogramJSON, q float64) float64 {
+	prev := make(map[float64]uint64, len(before.Buckets))
+	for _, b := range before.Buckets {
+		prev[b.LeMS] = b.Count
+	}
+	type bucket struct {
+		le    float64
+		count uint64
+	}
+	var (
+		deltas []bucket
+		total  uint64
+	)
+	for _, b := range after.Buckets {
+		if d := b.Count - prev[b.LeMS]; d > 0 {
+			deltas = append(deltas, bucket{b.LeMS, d})
+			total += d
+		}
+	}
+	total += after.Overflow - before.Overflow
+	if total == 0 {
+		return 0
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].le < deltas[j].le })
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for _, b := range deltas {
+		cum += b.count
+		if cum >= rank {
+			return b.le
+		}
+	}
+	return metrics.BucketBound(metrics.NumBuckets-2) * 1e3
+}
+
+// parsePopulations parses the -sweep list: positive integers, commas.
+func parsePopulations(list string) ([]int, error) {
+	var pops []int
+	for _, f := range strings.Split(list, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad population %q (want comma-separated positive integers)", f)
+		}
+		pops = append(pops, n)
+	}
+	if len(pops) == 0 {
+		return nil, fmt.Errorf("no populations in %q", list)
+	}
+	return pops, nil
 }
 
 func oneShot(addr, cmd string) {

@@ -3,9 +3,11 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"io"
 	"net"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -22,6 +24,11 @@ import (
 // deadlines, returning its address and the server for slot inspection.
 func startServer(t *testing.T, limit units.Bytes) (string, *serve.Server) {
 	t.Helper()
+	return startServerMode(t, limit, serve.PacingGoroutine)
+}
+
+func startServerMode(t *testing.T, limit units.Bytes, pacing serve.PacingMode) (string, *serve.Server) {
+	t.Helper()
 	p := disk.FutureDisk()
 	s, err := serve.New(serve.Config{
 		Admission: &schedule.MixedAdmission{
@@ -34,6 +41,7 @@ func startServer(t *testing.T, limit units.Bytes) (string, *serve.Server) {
 		WriteTimeout: 100 * time.Millisecond,
 		DrainTimeout: 2 * time.Second,
 		Quantum:      5 * time.Millisecond,
+		Pacing:       pacing,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -271,6 +279,122 @@ func waitFor(t *testing.T, ts *httptest.Server, within time.Duration) {
 			t.Fatalf("server did not settle: %+v", st)
 		}
 		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestParsePopulations(t *testing.T) {
+	got, err := parsePopulations(" 100, 500 ,1000 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 100 || got[1] != 500 || got[2] != 1000 {
+		t.Errorf("parsePopulations = %v, want [100 500 1000]", got)
+	}
+	for _, bad := range []string{"", ",,", "10,zero", "0", "-5", "1.5"} {
+		if _, err := parsePopulations(bad); err == nil {
+			t.Errorf("parsePopulations(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLagDeltaQuantile(t *testing.T) {
+	before := metrics.HistogramJSON{
+		Count:   10,
+		Buckets: []metrics.BucketJSON{{LeMS: 1, Count: 6}, {LeMS: 2, Count: 4}},
+	}
+	after := metrics.HistogramJSON{
+		Count: 110,
+		Buckets: []metrics.BucketJSON{
+			{LeMS: 1, Count: 96}, // +90 in this window
+			{LeMS: 2, Count: 9},  // +5
+			{LeMS: 16, Count: 5}, // +5
+		},
+	}
+	// 100 window samples: ranks 1–90 land in le=1, 91–95 in le=2, 96–100
+	// in le=16.
+	if got := lagDeltaQuantile(before, after, 0.50); got != 1 {
+		t.Errorf("p50 = %v, want 1", got)
+	}
+	if got := lagDeltaQuantile(before, after, 0.95); got != 2 {
+		t.Errorf("p95 = %v, want 2", got)
+	}
+	if got := lagDeltaQuantile(before, after, 0.99); got != 16 {
+		t.Errorf("p99 = %v, want 16", got)
+	}
+	// Empty window: the cumulative totals are equal, so no quantile.
+	if got := lagDeltaQuantile(after, after, 0.99); got != 0 {
+		t.Errorf("empty-window quantile = %v, want 0", got)
+	}
+	// All window samples in overflow: report the finite histogram ceiling,
+	// never ±Inf (it must survive JSON marshalling).
+	of := metrics.HistogramJSON{Count: 5, Overflow: 5}
+	ceiling := metrics.BucketBound(metrics.NumBuckets-2) * 1e3
+	if got := lagDeltaQuantile(metrics.HistogramJSON{}, of, 0.5); got != ceiling {
+		t.Errorf("overflow-only quantile = %v, want ceiling %v", got, ceiling)
+	}
+}
+
+// A real two-step sweep against a live wheel-mode server: every step's
+// deltas are isolated (step 2's counters don't include step 1's), each
+// cohort completes, conservation holds per step, and the JSON document
+// lands on disk with the declared schema.
+func TestRunSweepLive(t *testing.T) {
+	addr, s := startServerMode(t, 20*units.KB, serve.PacingWheel)
+	ts := httptest.NewServer(s.ControlHandler())
+	defer ts.Close()
+
+	jsonPath := t.TempDir() + "/sweep.json"
+	cfg := config{addr: addr, rate: "100KB", duration: 800 * time.Millisecond}
+	var buf bytes.Buffer
+	if err := runSweep(&buf, ts.URL, cfg, "3,5", jsonPath); err != nil {
+		t.Fatalf("runSweep: %v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	t.Logf("sweep output:\n%s", out)
+	if !strings.Contains(out, "sweep streams=3:") || !strings.Contains(out, "sweep streams=5:") {
+		t.Errorf("missing per-step lines:\n%s", out)
+	}
+
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc sweepReport
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("sweep JSON invalid: %v", err)
+	}
+	if doc.Schema != "memsload-sweep/v1" {
+		t.Errorf("schema = %q", doc.Schema)
+	}
+	if len(doc.Steps) != 2 {
+		t.Fatalf("steps = %d, want 2", len(doc.Steps))
+	}
+	for i, want := range []int{3, 5} {
+		st := doc.Steps[i]
+		if st.Streams != want {
+			t.Errorf("step %d: streams = %d, want %d", i, st.Streams, want)
+		}
+		// Isolation + completion: this step's window admitted and completed
+		// exactly its own cohort (20KB at 100KB/s finishes well inside the
+		// run window), with no carry-over from the previous step.
+		if st.Admitted != uint64(want) || st.Completed != uint64(want) {
+			t.Errorf("step %d: admitted=%d completed=%d, want both %d", i, st.Admitted, st.Completed, want)
+		}
+		if st.Errors != 0 || st.Busy != 0 {
+			t.Errorf("step %d: errors=%d busy=%d, want 0", i, st.Errors, st.Busy)
+		}
+		if got, want := st.Completed+st.Evicted+st.Aborted, st.Admitted; got != want {
+			t.Errorf("step %d: conservation %d != admitted %d", i, got, want)
+		}
+		if st.BytesOut != uint64(want)*uint64(20*units.KB) {
+			t.Errorf("step %d: bytes_out = %d, want %d", i, st.BytesOut, uint64(want)*uint64(20*units.KB))
+		}
+		if st.WheelFires == 0 {
+			t.Errorf("step %d: wheel plane idle (wheel_fires=0)", i)
+		}
+		if st.LagSamples == 0 {
+			t.Errorf("step %d: no lag samples in window", i)
+		}
 	}
 }
 

@@ -71,3 +71,23 @@ func (c *Counter) Total() uint64 {
 	}
 	return sum
 }
+
+// Gauge is a lock-free instantaneous gauge (population counts, queue
+// depths): a padded atomic so a hot gauge never false-shares with its
+// neighbours in a metrics struct. The zero value is ready to use.
+// Unlike Counter it can go down, and its single cell is the truth — a
+// gauge read must never be smeared across shards the way a monotonic
+// counter's Total may be.
+type Gauge struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Add moves the gauge by delta (negative to decrement).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Set stores an absolute value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }

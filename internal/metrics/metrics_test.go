@@ -216,3 +216,23 @@ func TestConcurrentObserveAndSnapshot(t *testing.T) {
 		t.Error("hammer recorded nothing")
 	}
 }
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	if got := g.Load(); got != 0 {
+		t.Fatalf("zero Gauge = %d", got)
+	}
+	g.Add(5)
+	g.Add(-2)
+	if got := g.Load(); got != 3 {
+		t.Errorf("after +5-2: %d, want 3", got)
+	}
+	g.Set(-7)
+	if got := g.Load(); got != -7 {
+		t.Errorf("after Set(-7): %d", got)
+	}
+	allocs := testing.AllocsPerRun(100, func() { g.Add(1); _ = g.Load() })
+	if allocs != 0 {
+		t.Errorf("Gauge hot path allocates %.1f/op", allocs)
+	}
+}

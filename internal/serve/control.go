@@ -133,6 +133,7 @@ func (s *Server) handleMetricsHTTP(w http.ResponseWriter, r *http.Request) {
 			"admitted":       int64(s.Admitted()),
 			"capacity":       int64(s.Capacity()),
 			"active_streams": s.metrics.ActiveStreams.Load(),
+			"wheel_streams":  s.metrics.WheelStreams.Load(),
 			"conns":          int64(s.activeConns()),
 		},
 		Lag:   s.metrics.Lag.Snapshot().Wire(),

@@ -29,18 +29,27 @@ import (
 // as a reap; a failed banner write counted as an eviction), which made
 // the counters useless for telling hostile clients from flaky ones.
 type Metrics struct {
-	Accepted      atomic.Uint64 // connections admitted past the conn semaphore
-	Sheds         atomic.Uint64 // connections shed BUSY at the max-conns cap
-	Reaped        atomic.Uint64 // request lines reaped: read-deadline timeout or maxRequestLine overflow
-	Aborted       atomic.Uint64 // clients that disconnected on their own (mid-line, pre-banner, or mid-stream)
-	BadRequests   atomic.Uint64 // malformed or unknown commands
-	AdmittedTotal atomic.Uint64 // PLAY requests admitted by Theorem 1
-	AdmissionBusy atomic.Uint64 // PLAY requests refused by Theorem 1
-	Completed     atomic.Uint64 // streams that delivered their full byte budget
-	Evicted       atomic.Uint64 // streams the server killed: write deadline or drain/stop force-close
+	Accepted      atomic.Uint64   // connections admitted past the conn semaphore
+	Sheds         atomic.Uint64   // connections shed BUSY at the max-conns cap
+	Reaped        atomic.Uint64   // request lines reaped: read-deadline timeout or maxRequestLine overflow
+	Aborted       atomic.Uint64   // clients that disconnected on their own (mid-line, pre-banner, or mid-stream)
+	BadRequests   atomic.Uint64   // malformed or unknown commands
+	AdmittedTotal atomic.Uint64   // PLAY requests admitted by Theorem 1
+	AdmissionBusy atomic.Uint64   // PLAY requests refused by Theorem 1
+	Completed     atomic.Uint64   // streams that delivered their full byte budget
+	Evicted       atomic.Uint64   // streams the server killed: write deadline or drain/stop force-close
 	BytesOut      metrics.Counter // stream payload bytes written (sharded; one handle per stream)
 
-	ActiveStreams atomic.Int64 // gauge: streams currently holding a slot
+	// Wheel-plane instrumentation (all zero in goroutine mode):
+	// WheelTicks counts wheel advances (quanta the tick loop settled,
+	// including catch-up after an overrun), WheelFires counts due
+	// streams drained — fires/ticks is the batch factor, and fires per
+	// second is the wakeup rate one ticker replaces.
+	WheelTicks atomic.Uint64
+	WheelFires atomic.Uint64
+
+	ActiveStreams atomic.Int64  // gauge: streams currently holding a slot
+	WheelStreams  metrics.Gauge // gauge: streams parked on (or being served by) the wheel
 
 	Lag metrics.Histogram // pacing lag per quantum, seconds
 }
@@ -72,6 +81,8 @@ func (m *Metrics) counterMap() map[string]uint64 {
 		"completed":      m.Completed.Load(),
 		"evicted":        m.Evicted.Load(),
 		"bytes_out":      m.BytesOut.Total(),
+		"wheel_ticks":    m.WheelTicks.Load(),
+		"wheel_fires":    m.WheelFires.Load(),
 	}
 }
 
@@ -97,6 +108,9 @@ func (m *Metrics) Line(admitted int) string {
 	fmt.Fprintf(&b, " completed=%d", m.Completed.Load())
 	fmt.Fprintf(&b, " evicted=%d", m.Evicted.Load())
 	fmt.Fprintf(&b, " bytes_out=%d", m.BytesOut.Total())
+	fmt.Fprintf(&b, " wheel_streams=%d", m.WheelStreams.Load())
+	fmt.Fprintf(&b, " wheel_ticks=%d", m.WheelTicks.Load())
+	fmt.Fprintf(&b, " wheel_fires=%d", m.WheelFires.Load())
 	// One snapshot serves both the count and the quantiles, so the line
 	// can never pair lag_samples=0 with a nonzero quantile (torn read).
 	snap := m.Lag.Snapshot()

@@ -34,11 +34,13 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"memstream/internal/metrics"
 	"memstream/internal/model"
 	"memstream/internal/schedule"
 	"memstream/internal/units"
@@ -62,6 +64,55 @@ const (
 	maxWriteChunk = 256 << 10
 )
 
+// payloadPattern is the one immutable synthetic payload every stream
+// slices its chunks from. Streams used to allocate and fill a private
+// buffer each (population × up to 256KB of dead memory and a fill loop
+// on the admission path); sharing one read-only pattern makes the
+// steady-state write path allocation-free. Nothing may ever write into
+// it.
+var payloadPattern = func() []byte {
+	buf := make([]byte, maxWriteChunk)
+	for i := range buf {
+		buf[i] = byte('A' + i%26)
+	}
+	return buf
+}()
+
+// PacingMode selects the data plane that wakes streams at quantum
+// boundaries.
+type PacingMode int
+
+const (
+	// PacingGoroutine is the classic plane: every stream owns a
+	// goroutine with a private runtime timer. Simple, and the baseline
+	// the wheel is benchmarked against.
+	PacingGoroutine PacingMode = iota
+	// PacingWheel parks all streams on one hierarchical timer wheel; a
+	// single ticker goroutine batches the due population each quantum
+	// to a small writer-worker pool (Config.Writers). O(workers)
+	// runtime timers regardless of population.
+	PacingWheel
+)
+
+// String renders the flag spelling.
+func (m PacingMode) String() string {
+	if m == PacingWheel {
+		return "wheel"
+	}
+	return "goroutine"
+}
+
+// ParsePacing parses a -pacing flag value.
+func ParsePacing(s string) (PacingMode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "goroutine":
+		return PacingGoroutine, nil
+	case "wheel":
+		return PacingWheel, nil
+	}
+	return 0, fmt.Errorf("serve: unknown pacing mode %q (want goroutine or wheel)", s)
+}
+
 // Config parameterizes a Server. Admission and DefaultRate are required;
 // every zero duration/count takes the package default.
 type Config struct {
@@ -74,6 +125,9 @@ type Config struct {
 	DrainTimeout time.Duration // graceful-drain budget after ctx cancellation
 	MaxConns     int           // concurrent-connection cap (BUSY shed beyond it)
 	Quantum      time.Duration // pacing quantum
+
+	Pacing  PacingMode // goroutine-per-stream (default) or timer wheel
+	Writers int        // wheel writer workers; 0 = GOMAXPROCS
 
 	Logf func(format string, args ...any) // nil = silent
 }
@@ -93,20 +147,37 @@ type Server struct {
 
 	nextStreamID atomic.Uint64
 
+	// plane is the timer-wheel data plane; nil in goroutine mode.
+	plane *wheelPlane
+
 	mu      sync.Mutex // guards adm (MixedAdmission is not goroutine-safe), conns, and streams
 	conns   map[net.Conn]struct{}
 	streams map[uint64]*streamState
 }
 
-// streamState is one live paced stream's control-plane record: identity
+// streamState is one live paced stream's control-plane record (identity
 // for POST /streams/{id}/stop and the per-stream byte gauge the /metrics
-// document reports. bytes is written only by the stream's own goroutine.
+// document reports) plus its write-path state. The write-path fields
+// (pacer, sent, out, deadlineAt) are owned by whichever goroutine is
+// currently pacing the stream — its own goroutine in PacingGoroutine,
+// exactly one wheel worker at a time in PacingWheel — and are shared by
+// both planes through writeChunks. bytes is the one field read by other
+// goroutines (the control plane), hence atomic.
 type streamState struct {
 	id    uint64
 	rate  units.ByteRate
 	start time.Time
 	conn  net.Conn
 	bytes atomic.Uint64
+
+	pacer *units.Pacer
+	sent  units.Bytes
+	out   metrics.Handle // pinned BytesOut shard: uncontended per-chunk adds
+	// deadlineAt is when the conn's write deadline was last armed; the
+	// deadline is re-armed only once more than half of WriteTimeout has
+	// elapsed since, replacing a SetWriteDeadline syscall per chunk
+	// with one per ~WriteTimeout/2.
+	deadlineAt time.Time
 }
 
 // New validates cfg, fills defaults, and builds a Server.
@@ -132,7 +203,10 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Quantum <= 0 {
 		cfg.Quantum = DefaultQuantum
 	}
-	return &Server{
+	if cfg.Writers <= 0 {
+		cfg.Writers = runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
 		cfg:     cfg,
 		sem:     make(chan struct{}, cfg.MaxConns),
 		metrics: newMetrics(),
@@ -140,7 +214,22 @@ func New(cfg Config) (*Server, error) {
 		drainCh: make(chan struct{}),
 		conns:   make(map[net.Conn]struct{}),
 		streams: make(map[uint64]*streamState),
-	}, nil
+	}
+	if cfg.Pacing == PacingWheel {
+		s.plane = newWheelPlane(s)
+	}
+	return s, nil
+}
+
+// Close releases the server's background machinery — today the wheel
+// plane's ticker and worker pool; a no-op in goroutine mode. Any
+// streams still parked on the wheel are evicted. Idempotent. Serve does
+// NOT call it: the plane outlives a drain so tests and embedders can
+// run multiple loads; call Close when the Server is done for good.
+func (s *Server) Close() {
+	if s.plane != nil {
+		s.plane.stop()
+	}
 }
 
 // Metrics exposes the supervisor's counters and lag histogram.
@@ -319,9 +408,15 @@ func (s *Server) activeConns() int {
 
 func (s *Server) closeAll() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	for conn := range s.conns {
 		conn.Close()
+	}
+	s.mu.Unlock()
+	// Streams parked on the wheel may be armed seconds out (sub-quantum
+	// skip-ahead); evict them now rather than waiting for their next
+	// wake to notice the closed connection.
+	if s.plane != nil {
+		s.plane.kickAll()
 	}
 }
 
@@ -422,13 +517,91 @@ func (s *Server) play(conn net.Conn, fields []string) {
 		s.metrics.Aborted.Add(1)
 		return
 	}
-	s.stream(st)
+	if s.plane != nil {
+		s.plane.run(st)
+	} else {
+		s.stream(st)
+	}
 }
 
-// stream paces synthetic data to the stream's connection at its admitted
-// rate. Each chunk is due at an absolute quantum boundary anchored to the
-// stream's start on the monotonic clock; the pacer carries fractional
-// bytes, so any positive rate eventually reaches the byte budget.
+// writeOutcome classifies one quantum's worth of chunk writes.
+type writeOutcome int
+
+const (
+	writeOK      writeOutcome = iota // all due bytes written, stream continues
+	writeDone                        // byte budget (Config.Limit) reached
+	writeEvicted                     // server killed it: write deadline or force-close
+	writeAborted                     // client vanished: reset/EPIPE
+)
+
+// writeChunks writes n due bytes to the stream's connection as slices
+// of the shared immutable payload pattern — the one write path both
+// pacing planes share. It is allocation-free and syscall-light:
+//
+//   - chunks are slices of payloadPattern, never per-stream buffers;
+//   - the write deadline is re-armed only when more than half of
+//     WriteTimeout has elapsed since the last arm (st.deadlineAt), not
+//     per chunk — the caller's coarse now makes the check free. A
+//     stalled reader still blocks into a deadline armed at most
+//     WriteTimeout/2+quantum ago, so eviction happens within
+//     WriteTimeout of the last arm, i.e. WriteTimeout+one quantum of
+//     the stall;
+//   - n is clamped to the remaining byte budget, so a completed stream
+//     delivers exactly Limit bytes in every pacing mode (catch-up
+//     bursts cannot overshoot).
+//
+// Multi-chunk catch-up bursts refresh now per chunk so a legitimately
+// slow reader draining a long burst is not evicted for exceeding one
+// deadline armed at burst start.
+func (s *Server) writeChunks(st *streamState, n int, now time.Time) writeOutcome {
+	if s.cfg.Limit > 0 {
+		if remain := int(s.cfg.Limit - st.sent); n > remain {
+			n = remain
+		}
+	}
+	for n > 0 {
+		m := n
+		if m > maxWriteChunk {
+			m = maxWriteChunk
+		}
+		if half := s.cfg.WriteTimeout / 2; st.deadlineAt.IsZero() || now.Sub(st.deadlineAt) >= half {
+			st.conn.SetWriteDeadline(now.Add(s.cfg.WriteTimeout))
+			st.deadlineAt = now
+		}
+		if _, err := st.conn.Write(payloadPattern[:m]); err != nil {
+			var ne net.Error
+			if (errors.As(err, &ne) && ne.Timeout()) || errors.Is(err, net.ErrClosed) {
+				return writeEvicted
+			}
+			return writeAborted
+		}
+		st.out.Add(uint64(m))
+		st.bytes.Add(uint64(m))
+		st.sent += units.Bytes(m)
+		n -= m
+		if s.cfg.Limit > 0 && st.sent >= s.cfg.Limit {
+			return writeDone
+		}
+		if n > 0 {
+			now = time.Now() // burst path only; single-chunk quanta never pay this
+		}
+	}
+	return writeOK
+}
+
+// stream paces synthetic data on the goroutine-per-stream plane: each
+// chunk is due at an absolute quantum boundary anchored to the stream's
+// start on the monotonic clock (units.Pacer carries fractional bytes,
+// so any positive rate eventually reaches the byte budget), and this
+// goroutine's private runtime timer sleeps to each boundary. The write
+// itself — pattern slicing, deadline amortization, outcome
+// classification — is writeChunks, shared with the wheel plane.
+//
+// Lag is sampled from the post-wake coarse clock against the boundary:
+// it reads scheduler wake-up latency directly, and client back-pressure
+// with one quantum of delay (a blocked write surfaces in the next
+// wake's clock). That is one time.Now per quantum instead of the
+// previous several per chunk.
 //
 // A failed chunk write ends the stream under one of two counters:
 // Evicted when the server killed it (the write deadline expired on a
@@ -437,62 +610,39 @@ func (s *Server) play(conn net.Conn, fields []string) {
 // (reset/EPIPE). Lumping those together previously made server-initiated
 // kills indistinguishable from client churn.
 func (s *Server) stream(st *streamState) {
-	conn, rate := st.conn, st.rate
-	pacer := units.NewPacer(rate, s.cfg.Quantum)
+	st.pacer = units.NewPacer(st.rate, s.cfg.Quantum)
+	st.out = s.metrics.BytesOut.Handle()
 	start := time.Now()
-	bufSize := int(units.BytesIn(rate, s.cfg.Quantum)) + 1
-	if bufSize > maxWriteChunk {
-		bufSize = maxWriteChunk
-	}
-	buf := make([]byte, bufSize)
-	for i := range buf {
-		buf[i] = byte('A' + i%26)
-	}
-	bytesOut := s.metrics.BytesOut.Handle() // pinned shard: uncontended per-chunk adds
-	var sent units.Bytes
 	timer := time.NewTimer(0)
 	defer timer.Stop()
 	if !timer.Stop() {
 		<-timer.C
 	}
 	for {
-		n := pacer.Next()
-		boundary := pacer.Deadline(start)
+		n := st.pacer.Next()
+		boundary := st.pacer.Deadline(start)
 		if d := time.Until(boundary); d > 0 {
 			timer.Reset(d)
 			<-timer.C
 		}
-		for n > 0 {
-			m := n
-			if m > len(buf) {
-				m = len(buf)
+		now := time.Now() // the quantum's coarse clock: lag + deadline checks
+		switch s.writeChunks(st, n, now) {
+		case writeOK:
+			if lag := now.Sub(boundary); lag > 0 {
+				s.metrics.ObserveLag(lag.Seconds())
+			} else {
+				s.metrics.ObserveLag(0)
 			}
-			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-			if _, err := conn.Write(buf[:m]); err != nil {
-				var ne net.Error
-				if (errors.As(err, &ne) && ne.Timeout()) || errors.Is(err, net.ErrClosed) {
-					s.metrics.Evicted.Add(1)
-				} else {
-					s.metrics.Aborted.Add(1)
-				}
-				return
-			}
-			bytesOut.Add(uint64(m))
-			st.bytes.Add(uint64(m))
-			sent += units.Bytes(m)
-			n -= m
-			if s.cfg.Limit > 0 && sent >= s.cfg.Limit {
-				s.metrics.ObserveLag(time.Since(boundary).Seconds())
-				s.metrics.Completed.Add(1)
-				return
-			}
-		}
-		// Lag is measured after the quantum's writes complete, so it
-		// captures both scheduler wake-up latency and client back-pressure.
-		if lag := time.Since(boundary); lag > 0 {
-			s.metrics.ObserveLag(lag.Seconds())
-		} else {
-			s.metrics.ObserveLag(0)
+		case writeDone:
+			s.metrics.ObserveLag(now.Sub(boundary).Seconds())
+			s.metrics.Completed.Add(1)
+			return
+		case writeEvicted:
+			s.metrics.Evicted.Add(1)
+			return
+		case writeAborted:
+			s.metrics.Aborted.Add(1)
+			return
 		}
 	}
 }

@@ -139,3 +139,87 @@ func TestPacerPanicsOnBadQuantum(t *testing.T) {
 	}()
 	NewPacer(1*KBPS, 0)
 }
+
+// NextBatch(k) must emit exactly what k Next() calls emit: the budget
+// is recomputed from the tick index and sent is always integral, so the
+// floors telescope. This is the wheel plane's byte-conservation
+// contract — a stream that slept through k quanta settles the same debt
+// in one call as the goroutine plane does in k.
+func TestPacerNextBatchEquivalence(t *testing.T) {
+	rates := []ByteRate{5 * BPS, 7 * BPS, 100 * KBPS, 333333 * BPS}
+	for _, rate := range rates {
+		a := NewPacer(rate, 10*time.Millisecond)
+		b := NewPacer(rate, 10*time.Millisecond)
+		totalA, totalB := 0, 0
+		// Mixed advancement pattern: singles vs batches of 1,2,3,5,25.
+		batches := []int64{1, 2, 3, 5, 25, 1, 7}
+		for _, k := range batches {
+			for i := int64(0); i < k; i++ {
+				totalA += a.Next()
+			}
+			totalB += b.NextBatch(k)
+		}
+		if totalA != totalB {
+			t.Errorf("rate %v: %d singles emitted %d bytes, batches emitted %d",
+				rate, 44, totalA, totalB)
+		}
+		if a.Ticks() != b.Ticks() {
+			t.Errorf("rate %v: tick counts diverged: %d vs %d", rate, a.Ticks(), b.Ticks())
+		}
+	}
+}
+
+func TestPacerNextBatchNonPositive(t *testing.T) {
+	p := NewPacer(1*KBPS, 10*time.Millisecond)
+	if n := p.NextBatch(0); n != 0 {
+		t.Errorf("NextBatch(0) = %d, want 0", n)
+	}
+	if n := p.NextBatch(-3); n != 0 {
+		t.Errorf("NextBatch(-3) = %d, want 0", n)
+	}
+	if got := p.Ticks(); got != 0 {
+		t.Errorf("non-positive batches advanced ticks to %d", got)
+	}
+}
+
+// QuantaToNonzero is the wheel's skip-ahead: park a sub-quantum stream
+// until a whole byte accrues. Parking that long then settling the debt
+// must emit at least one byte; parking one quantum less must emit zero.
+func TestPacerQuantaToNonzero(t *testing.T) {
+	for _, rate := range []ByteRate{1 * BPS, 5 * BPS, 49 * BPS, 7 * BPS} {
+		p := NewPacer(rate, 10*time.Millisecond)
+		for step := 0; step < 20; step++ {
+			k := p.QuantaToNonzero()
+			if k < 1 {
+				t.Fatalf("rate %v: QuantaToNonzero = %d, want >= 1", rate, k)
+			}
+			if k > 2 {
+				// Well short of the estimate nothing must be due yet;
+				// the documented float tolerance is one quantum.
+				probe := *p
+				if n := probe.NextBatch(k - 2); n != 0 {
+					t.Fatalf("rate %v step %d: k=%d but k-2 quanta already emit %d bytes",
+						rate, step, k, n)
+				}
+			}
+			n := p.NextBatch(k)
+			// Float rounding may leave the estimate one quantum short
+			// (emitting 0 once); one extra quantum must then deliver.
+			if n == 0 {
+				if n2 := p.NextBatch(1); n2 < 1 {
+					t.Fatalf("rate %v step %d: skip of %d then 1 more still emits nothing", rate, step, k)
+				}
+			}
+		}
+	}
+	// At and above one byte per quantum the skip is always 1.
+	p := NewPacer(100*BPS, 10*time.Millisecond)
+	if k := p.QuantaToNonzero(); k != 1 {
+		t.Errorf("super-quantum rate: QuantaToNonzero = %d, want 1", k)
+	}
+	// Non-positive rate parks on a saturated horizon.
+	z := NewPacer(0, 10*time.Millisecond)
+	if k := z.QuantaToNonzero(); k < 1<<40 {
+		t.Errorf("zero rate: QuantaToNonzero = %d, want saturated", k)
+	}
+}

@@ -1,0 +1,305 @@
+package wheel
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// fireAll advances to `to` one call and returns the Data values fired.
+func fireAll(w *Wheel, to int64) []int {
+	var out []int
+	for _, t := range w.Advance(to, nil) {
+		out = append(out, t.Data.(int))
+	}
+	return out
+}
+
+func TestArmFiresAtExactTick(t *testing.T) {
+	w := New()
+	tm := &Timer{Data: 1}
+	w.Arm(tm, 5)
+	if got := w.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1", got)
+	}
+	if fired := fireAll(w, 4); len(fired) != 0 {
+		t.Fatalf("fired %v before the deadline", fired)
+	}
+	if fired := fireAll(w, 5); len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("Advance(5) fired %v, want [1]", fired)
+	}
+	if got := w.Len(); got != 0 {
+		t.Fatalf("Len = %d after fire, want 0", got)
+	}
+	if got := w.Current(); got != 5 {
+		t.Fatalf("Current = %d, want 5", got)
+	}
+}
+
+// A deadline at or before the wheel clock clamps to the next tick: a
+// zero-delay Arm fires on the next Advance, never synchronously and
+// never lost.
+func TestZeroDelayArmFiresNextTick(t *testing.T) {
+	w := New()
+	w.Advance(10, nil)
+	for _, when := range []int64{10, 3, -7} {
+		tm := &Timer{Data: int(when)}
+		w.Arm(tm, when)
+		if got := tm.When(); got != w.Current()+1 {
+			t.Fatalf("Arm(%d): When = %d, want clamp to %d", when, got, w.Current()+1)
+		}
+		if fired := fireAll(w, w.Current()+1); len(fired) != 1 {
+			t.Fatalf("Arm(%d): next tick fired %v, want exactly it", when, fired)
+		}
+	}
+}
+
+func TestCancelPreventsFire(t *testing.T) {
+	w := New()
+	tm := &Timer{Data: 1}
+	w.Arm(tm, 3)
+	if !w.Cancel(tm) {
+		t.Fatal("Cancel of an armed timer reported false")
+	}
+	if w.Cancel(tm) {
+		t.Fatal("second Cancel reported true")
+	}
+	if fired := fireAll(w, 10); len(fired) != 0 {
+		t.Fatalf("cancelled timer fired: %v", fired)
+	}
+	// A cancelled timer is reusable.
+	w.Arm(tm, 12)
+	if fired := fireAll(w, 12); len(fired) != 1 {
+		t.Fatalf("re-armed timer did not fire: %v", fired)
+	}
+}
+
+func TestReArmMovesDeadline(t *testing.T) {
+	w := New()
+	tm := &Timer{Data: 1}
+	w.Arm(tm, 5)
+	w.Arm(tm, 9) // move, not duplicate
+	if got := w.Len(); got != 1 {
+		t.Fatalf("Len after re-arm = %d, want 1", got)
+	}
+	if fired := fireAll(w, 5); len(fired) != 0 {
+		t.Fatalf("old deadline fired after re-arm: %v", fired)
+	}
+	if fired := fireAll(w, 9); len(fired) != 1 {
+		t.Fatalf("moved deadline did not fire: %v", fired)
+	}
+}
+
+// Deadlines on every level — level 0, one and two cascades deep, the
+// outermost level, and beyond the 2^26-tick horizon (which parks and
+// re-cascades) — all fire at exactly their tick. The beyond-horizon
+// case is advanced in one big jump; the others step through each tick.
+func TestCascadeFiresExactly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-million-tick advance")
+	}
+	deadlines := []int64{
+		1, 255, // level 0
+		256, 300, 16383, // level 1
+		16384, 1 << 19, // level 2
+		1 << 20, 1<<22 + 12345, // level 3
+	}
+	w := New()
+	timers := make([]*Timer, len(deadlines))
+	for i, when := range deadlines {
+		timers[i] = &Timer{Data: i}
+		w.Arm(timers[i], when)
+	}
+	fired := make(map[int]int64)
+	var due []*Timer
+	for tick := int64(1); tick <= 1<<22+12345; tick++ {
+		due = w.Advance(tick, due[:0])
+		for _, tm := range due {
+			fired[tm.Data.(int)] = tick
+		}
+		if len(fired) == len(deadlines) {
+			break
+		}
+		// Skip empty stretches to keep the test fast, but always land
+		// on each deadline and the tick just before it.
+		next := int64(1 << 40)
+		for i, when := range deadlines {
+			if _, done := fired[i]; !done && when > tick && when < next {
+				next = when
+			}
+		}
+		if next < 1<<40 && next-1 > tick {
+			tick = next - 2 // loop ++ lands on next-1, then next
+		}
+	}
+	for i, when := range deadlines {
+		if fired[i] != when {
+			t.Errorf("timer %d: fired at tick %d, want %d", i, fired[i], when)
+		}
+	}
+
+	// Beyond the horizon: parks in the outermost slot, re-cascades, and
+	// still fires at the exact tick under a single huge Advance.
+	far := &Timer{Data: 99}
+	w2 := New()
+	w2.Arm(far, span+77)
+	due = w2.Advance(span+76, due[:0])
+	if len(due) != 0 {
+		t.Fatalf("beyond-horizon timer fired early")
+	}
+	due = w2.Advance(span+77, due[:0])
+	if len(due) != 1 || due[0].Data.(int) != 99 {
+		t.Fatalf("beyond-horizon timer did not fire at its tick: %v", due)
+	}
+}
+
+// One big Advance collects everything due in between, in one batch.
+func TestBigJumpCollectsAllDue(t *testing.T) {
+	w := New()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		w.Arm(&Timer{Data: i}, int64(1+i*7%5000))
+	}
+	due := w.Advance(5000, nil)
+	if len(due) != n {
+		t.Fatalf("Advance(5000) fired %d timers, want %d", len(due), n)
+	}
+	if got := w.Len(); got != 0 {
+		t.Fatalf("Len = %d after full drain, want 0", got)
+	}
+}
+
+func TestDrainAll(t *testing.T) {
+	w := New()
+	for i := 0; i < 100; i++ {
+		w.Arm(&Timer{Data: i}, int64(1+i*1009))
+	}
+	due := w.DrainAll(nil)
+	if len(due) != 100 {
+		t.Fatalf("DrainAll returned %d timers, want 100", len(due))
+	}
+	if got := w.Len(); got != 0 {
+		t.Fatalf("Len = %d after DrainAll, want 0", got)
+	}
+	if fired := fireAll(w, 1<<21); len(fired) != 0 {
+		t.Fatalf("drained timers fired later: %d", len(fired))
+	}
+}
+
+// Advance reuses the caller's scratch without allocating in steady
+// state, and the armed count survives a non-empty scratch prefix.
+func TestAdvanceScratchReuseAndCount(t *testing.T) {
+	w := New()
+	a, b := &Timer{Data: 1}, &Timer{Data: 2}
+	w.Arm(a, 1)
+	w.Arm(b, 2)
+	scratch := make([]*Timer, 0, 8)
+	scratch = w.Advance(1, scratch)
+	if len(scratch) != 1 {
+		t.Fatalf("first advance fired %d, want 1", len(scratch))
+	}
+	// Deliberately keep the fired entry in the scratch: the armed count
+	// must only drop by what THIS call collected.
+	scratch = w.Advance(2, scratch)
+	if len(scratch) != 2 {
+		t.Fatalf("cumulative scratch = %d, want 2", len(scratch))
+	}
+	if got := w.Len(); got != 0 {
+		t.Fatalf("Len = %d, want 0", got)
+	}
+}
+
+// The concurrent contract: Arm/Cancel from many goroutines while one
+// driver advances. Run under -race. Each goroutine owns its timers, so
+// ownership transfers only through the wheel.
+func TestConcurrentArmCancelAdvanceHammer(t *testing.T) {
+	w := New()
+	const (
+		owners    = 8
+		perOwner  = 64
+		iters     = 2000
+		horizonMx = 4096
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Driver: advance one tick at a time, discarding fired timers.
+	var fired int
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		due := make([]*Timer, 0, 256)
+		tick := int64(0)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tick++
+			due = w.Advance(tick, due[:0])
+			fired += len(due)
+		}
+	}()
+
+	var owg sync.WaitGroup
+	for o := 0; o < owners; o++ {
+		owg.Add(1)
+		go func(o int) {
+			defer owg.Done()
+			rng := rand.New(rand.NewSource(int64(o)))
+			timers := make([]*Timer, perOwner)
+			for i := range timers {
+				timers[i] = &Timer{Data: o*perOwner + i}
+			}
+			for i := 0; i < iters; i++ {
+				tm := timers[rng.Intn(perOwner)]
+				if rng.Intn(4) == 0 {
+					w.Cancel(tm)
+				} else {
+					w.Arm(tm, w.Current()+1+rng.Int63n(horizonMx))
+				}
+			}
+		}(o)
+	}
+	owg.Wait()
+	close(stop)
+	wg.Wait()
+
+	// Post-hammer sanity: Len matches a full drain.
+	n := w.Len()
+	if got := len(w.DrainAll(nil)); got != n {
+		t.Fatalf("Len = %d but DrainAll returned %d", n, got)
+	}
+}
+
+func BenchmarkArmAdvance(b *testing.B) {
+	w := New()
+	timers := make([]*Timer, 1024)
+	for i := range timers {
+		timers[i] = &Timer{Data: i}
+		w.Arm(timers[i], int64(1+i%64))
+	}
+	due := make([]*Timer, 0, 1024)
+	tick := int64(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tick++
+		due = w.Advance(tick, due[:0])
+		for _, tm := range due {
+			w.Arm(tm, tick+1+int64(tm.Data.(int)%64))
+		}
+	}
+}
+
+func BenchmarkArmCancel(b *testing.B) {
+	w := New()
+	tm := &Timer{Data: 0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Arm(tm, int64(i%4096)+w.Current()+1)
+		w.Cancel(tm)
+	}
+}

@@ -11,7 +11,8 @@
 #     "go": "<toolchain>",
 #     "microbench": [ {"name", "ns_per_op", "bytes_per_op", "allocs_per_op"} ],
 #     "experiments": [ {"id", "wall_ns", "events", "events_per_sec"} ],
-#     "scaling": [ <memsim -scale docs, one per shard count> ]
+#     "scaling": [ <memsim -scale docs, one per shard count> ],
+#     "pacing": <pacing-scaling/v1 doc from the serve scaling harness>
 #   }
 #
 # The scaling section runs the sharded uniform scenario at each shard
@@ -20,6 +21,12 @@
 # aggregate_events_per_sec sums the per-shard uncontended rates — the
 # capacity figure once the host has a core per shard (see DESIGN.md).
 #
+# The pacing section sweeps live stream populations across both serve
+# data planes (goroutine-per-stream vs timer wheel) and records lag
+# quantiles, wakeup rates, the largest population each plane sustains
+# within the lag-p99 budget, and the wheel/goroutine ratio (see
+# TestPacingScalingHarness in internal/serve and EXPERIMENTS.md).
+#
 # Knobs (environment):
 #   BENCH_DIR        output directory (default: repo root)
 #   BENCH_PATTERN    -bench regexp for the microbenchmarks (default: .)
@@ -27,6 +34,9 @@
 #   BENCH_SCALE      -scale stream total for the scaling section (default: 65536)
 #   BENCH_SCALE_PER  -scale-per partition size (default: 4096)
 #   BENCH_SHARDS     shard counts to sweep, space-separated (default: "1 2 4 8")
+#   BENCH_PACING_POPS        population ladder, comma-separated
+#                            (default: harness default, up to 100000)
+#   BENCH_PACING_MEASURE_MS  per-point measurement window (default: 2000)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -41,12 +51,19 @@ TMP_PERF="$(mktemp)"
 TMP_ART="$(mktemp -d)"
 trap 'rm -rf "$TMP_BENCH" "$TMP_PERF" "$TMP_ART"' EXIT
 
-echo "bench: internal/sim + internal/metrics microbenchmarks" >&2
+echo "bench: sim + metrics + wheel + serve microbenchmarks" >&2
 go test -run '^$' -bench "${BENCH_PATTERN:-.}" -benchmem \
-    -benchtime "${BENCH_TIME:-1s}" ./internal/sim/ ./internal/metrics/ | tee "$TMP_BENCH" >&2
+    -benchtime "${BENCH_TIME:-1s}" \
+    ./internal/sim/ ./internal/metrics/ ./internal/wheel/ ./internal/serve/ | tee "$TMP_BENCH" >&2
 
 echo "bench: experiment suite (memsbench -perf)" >&2
 go run ./cmd/memsbench -parallel 1 -perf "$TMP_PERF" -out "$TMP_ART" >/dev/null
+
+echo "bench: pacing-plane scaling harness (both planes)" >&2
+PACING_SCALING_OUT="$TMP_ART/pacing.json" \
+PACING_SCALING_POPS="${BENCH_PACING_POPS:-}" \
+PACING_SCALING_MEASURE_MS="${BENCH_PACING_MEASURE_MS:-}" \
+    go test ./internal/serve/ -run TestPacingScalingHarness -count=1 -timeout 30m -v >&2
 
 SCALE="${BENCH_SCALE:-65536}"
 SCALE_PER="${BENCH_SCALE_PER:-4096}"
@@ -89,6 +106,8 @@ done
         sed -e 's/^/  /' "$TMP_ART/scale_${shards}.json"
     done
     printf '  ]\n'
+    printf '  ,"pacing": '
+    sed -e '1!s/^/  /' "$TMP_ART/pacing.json"
     printf '}\n'
 } >"$OUT"
 

@@ -13,13 +13,21 @@
 #      lands in exactly one of completed/evicted/aborted, and nothing
 #      is cross-counted as a slowloris reap,
 #   5. SIGTERM drains gracefully: the server exits 0 within the drain
-#      budget with no force-kill.
+#      budget with no force-kill,
+#   6. the wheel data plane (-pacing=wheel) survives a high-population
+#      sweep: a 1000-stream cohort is admitted, paced, and completed with
+#      per-step counter conservation (memsload -sweep), then the wheel
+#      server drains cleanly too.
 set -eu
 
 ADDR="${SMOKE_ADDR:-127.0.0.1:9391}"
 HTTP_ADDR="${SMOKE_HTTP_ADDR:-127.0.0.1:9392}"
+WHEEL_ADDR="${SMOKE_WHEEL_ADDR:-127.0.0.1:9393}"
+WHEEL_HTTP_ADDR="${SMOKE_WHEEL_HTTP_ADDR:-127.0.0.1:9394}"
 BIN="$(mktemp -d)"
-trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$BIN"' EXIT
+trap 'kill "$SERVER_PID" "$WHEEL_PID" 2>/dev/null || true; rm -rf "$BIN"' EXIT
+SERVER_PID=""
+WHEEL_PID=""
 
 echo "smoke: building"
 go build -o "$BIN/memserve" ./cmd/memserve
@@ -114,8 +122,61 @@ echo "smoke: SIGTERM drain"
 kill -TERM "$SERVER_PID"
 STATUS=0
 wait "$SERVER_PID" || STATUS=$?
+SERVER_PID=""
 if [ "$STATUS" -ne 0 ]; then
     echo "smoke: memserve exited $STATUS after SIGTERM, want 0" >&2
+    exit 1
+fi
+
+# --- wheel data plane: high-population sweep -------------------------
+# A finite -limit so every stream completes on its own; 64GB DRAM so the
+# admission plan fits the full cohort. The sweep brackets each step with
+# /metrics fetches, so the asserted line is this step's deltas alone.
+echo "smoke: starting wheel-mode memserve on $WHEEL_ADDR"
+"$BIN/memserve" -addr "$WHEEL_ADDR" -http "$WHEEL_HTTP_ADDR" -dram 64GB \
+    -bitrate 100KB -limit 20KB -read-timeout 5s -write-timeout 2s \
+    -drain 5s -quantum 20ms -max-conns 4096 -pacing wheel &
+WHEEL_PID=$!
+
+i=0
+until "$BIN/memsload" -addr "$WHEEL_ADDR" -stat >/dev/null 2>&1 &&
+      "$BIN/memsload" -http-metrics "http://$WHEEL_HTTP_ADDR" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "smoke: wheel server never came up" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+echo "smoke: wheel population sweep (100 then 1000 streams)"
+SWEEP_OUT="$("$BIN/memsload" -addr "$WHEEL_ADDR" -http-metrics "http://$WHEEL_HTTP_ADDR" \
+    -sweep 100,1000 -rate 100KB -duration 5s -sweep-json "$BIN/sweep.json")"
+echo "$SWEEP_OUT" | sed 's/^/smoke:   /'
+case "$SWEEP_OUT" in
+*"sweep streams=1000: admitted=1000 busy=0 errors=0 completed=1000 evicted=0 aborted=0"*) ;;
+*)
+    echo "smoke: wheel sweep did not complete the 1000-stream cohort cleanly" >&2
+    exit 1
+    ;;
+esac
+
+# The wheel actually drove the cohort: nonzero wheel_fires on the wire.
+WHEEL_PROBE="$("$BIN/memsload" -http-metrics "http://$WHEEL_HTTP_ADDR")"
+case "$WHEEL_PROBE" in
+*"counters.wheel_fires=0"*)
+    echo "smoke: wheel plane never fired a stream" >&2
+    exit 1
+    ;;
+esac
+
+echo "smoke: wheel SIGTERM drain"
+kill -TERM "$WHEEL_PID"
+STATUS=0
+wait "$WHEEL_PID" || STATUS=$?
+WHEEL_PID=""
+if [ "$STATUS" -ne 0 ]; then
+    echo "smoke: wheel memserve exited $STATUS after SIGTERM, want 0" >&2
     exit 1
 fi
 echo "smoke: OK"
