@@ -22,9 +22,11 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"memstream/internal/experiments"
 	"memstream/internal/plot"
+	"memstream/internal/tier"
 )
 
 func main() {
@@ -46,6 +48,7 @@ func run(args []string, w io.Writer) error {
 	parallel := fs.Int("parallel", 1, "worker count for the suite (0 = GOMAXPROCS)")
 	shards := fs.Int("shards", 1, "shard goroutine count for sharded experiments (artifacts are byte-identical at any value)")
 	seed := fs.Uint64("seed", experiments.DefaultSeed, "root seed; per-experiment seeds derive from it")
+	tierName := fs.String("tier", tier.Default, "middle-tier parameter set: "+strings.Join(tier.Names(), ", "))
 	jsonPath := fs.String("json", "", "write the per-run metrics document to this file")
 	perfPath := fs.String("perf", "", "write the per-experiment performance document to this file")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -54,6 +57,9 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	experiments.SetShardWorkers(*shards)
+	if err := experiments.SetTier(*tierName); err != nil {
+		return err
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

@@ -8,6 +8,7 @@
 // Usage:
 //
 //	memsim -device g3 -n 10000 -io 64KB            # random IOs on G3 MEMS
+//	memsim -device nvm-optane -n 10000 -io 64KB    # any tier registry set
 //	memsim -device futuredisk -policy c-look ...    # scheduled batch
 //	memsim -record trace.txt ...                    # save the trace
 //	memsim -replay trace.txt -device g3             # replay a saved trace
@@ -23,16 +24,17 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"memstream/internal/device"
 	"memstream/internal/disk"
 	"memstream/internal/experiments"
-	"memstream/internal/mems"
 	"memstream/internal/model"
 	"memstream/internal/server"
 	"memstream/internal/shard"
 	"memstream/internal/sim"
+	"memstream/internal/tier"
 	"memstream/internal/trace"
 	"memstream/internal/units"
 )
@@ -45,11 +47,12 @@ type serviceable interface {
 }
 
 func main() {
-	devName := flag.String("device", "g3", "device: g3, g2, g1, futuredisk, atlas10k3, array2, array4")
+	devName := flag.String("device", "g3", "device: a middle-tier set name ("+strings.Join(tier.Names(), ", ")+"; g1..g3 alias mems-g*), or futuredisk, atlas10k3, array2, array4")
 	n := flag.Int("n", 10000, "number of random IOs to generate")
 	ioSize := flag.String("io", "64KB", "IO size for generated traces")
 	seed := flag.Uint64("seed", 1, "RNG seed for generated traces")
 	policy := flag.String("policy", "fcfs", "scheduling for generated batches: fcfs, sptf/sstf, elevator/c-look")
+	tierName := flag.String("tier", tier.Default, "middle-tier parameter set for -experiments and -sim: "+strings.Join(tier.Names(), ", "))
 	record := flag.String("record", "", "write the generated trace to this file")
 	replay := flag.String("replay", "", "replay a trace file instead of generating")
 	exp := flag.Bool("experiments", false, "run the experiment suite instead of a device trace")
@@ -68,6 +71,9 @@ func main() {
 	flag.Parse()
 
 	experiments.SetShardWorkers(*shards)
+	if err := experiments.SetTier(*tierName); err != nil {
+		fatal(err)
+	}
 	if *exp {
 		if err := runExperiments(*runPat, *seed, *parallel, *jsonPath, *outDir, os.Stdout); err != nil {
 			fatal(err)
@@ -81,7 +87,7 @@ func main() {
 		return
 	}
 	if *simMode != "" {
-		if err := runSim(*simMode, *simStreams, *simRate, *seed, *tracePath); err != nil {
+		if err := runSim(*simMode, *tierName, *simStreams, *simRate, *seed, *tracePath); err != nil {
 			fatal(err)
 		}
 		return
@@ -132,15 +138,6 @@ func main() {
 
 func openDevice(name string) (serviceable, bool, error) {
 	switch name {
-	case "g1":
-		d, err := mems.New(mems.G1())
-		return d, false, err
-	case "g2":
-		d, err := mems.New(mems.G2())
-		return d, false, err
-	case "g3":
-		d, err := mems.New(mems.G3())
-		return d, false, err
 	case "futuredisk":
 		d, err := disk.New(disk.FutureDisk())
 		return d, true, err
@@ -154,7 +151,14 @@ func openDevice(name string) (serviceable, bool, error) {
 		a, err := disk.NewArray(4, disk.FutureDisk(), units.Bytes(1e6))
 		return a, true, err
 	}
-	return nil, false, fmt.Errorf("unknown device %q", name)
+	// Everything else is a middle-tier registry name ("mems-g3",
+	// "nvm-optane", ...; "g1".."g3" alias the MEMS generations).
+	spec, err := tier.Lookup(name)
+	if err != nil {
+		return nil, false, err
+	}
+	d, err := tier.New(spec)
+	return d, false, err
 }
 
 func generate(g device.Geometry, n int, io units.Bytes, seed uint64) []trace.Event {
@@ -189,15 +193,12 @@ func runTrace(dev serviceable, isDisk bool, policy string, events []trace.Event)
 			s.Enqueue(e.Request())
 		}
 		return s.DrainAll(0)
-	case *mems.Device:
-		p := mems.FCFS
-		switch policy {
-		case "sptf", "sstf":
-			p = mems.SPTF
-		case "elevator", "c-look":
-			p = mems.Elevator
+	case tier.Device:
+		p, err := tier.ParsePolicy(policy)
+		if err != nil {
+			return nil, err
 		}
-		s := mems.NewScheduler(d, p)
+		s := tier.NewScheduler(d, p)
 		for _, e := range events {
 			s.Enqueue(e.Request())
 		}
@@ -417,9 +418,13 @@ type traceDoc struct {
 
 // runSim runs one server simulation with the observability probe attached
 // and writes the per-cycle trace JSON document to path (stdout if empty).
-func runSim(mode string, streams int, rate string, seed uint64, path string) error {
+func runSim(mode, tierName string, streams int, rate string, seed uint64, path string) error {
+	spec, err := tier.Lookup(tierName)
+	if err != nil {
+		return err
+	}
 	cfg := server.Config{
-		Disk: disk.FutureDisk(), MEMS: mems.G3(), K: 2,
+		Disk: disk.FutureDisk(), Tier: spec, K: 2,
 		Titles: 50, X: 10, Y: 90, Seed: seed, Trace: true,
 	}
 	// Mode defaults mirror the paper's operating points: DVD-rate streams

@@ -1,7 +1,9 @@
-// Package bank manages a bank of k MEMS devices in the two roles the paper
-// defines (its §3.1.2 and §3.2): a disk buffer with stream-granularity
-// round-robin routing, and a content cache under striped or replicated
-// management.
+// Package bank manages a bank of k middle-tier devices in the two roles
+// the paper defines (its §3.1.2 and §3.2): a disk buffer with
+// stream-granularity round-robin routing, and a content cache under
+// striped or replicated management. The bank is tier-agnostic: it
+// programs against tier.Device, so the same routing runs over MEMS
+// sleds, NVM, or SSD parameter sets.
 package bank
 
 import (
@@ -9,18 +11,18 @@ import (
 	"time"
 
 	"memstream/internal/device"
-	"memstream/internal/mems"
+	"memstream/internal/tier"
 	"memstream/internal/units"
 )
 
-// New builds k identical MEMS devices from params.
-func New(k int, p mems.Params) ([]*mems.Device, error) {
+// New builds k identical middle-tier devices from the parameter set.
+func New(k int, s tier.Spec) ([]tier.Device, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("bank: need at least one device, got %d", k)
 	}
-	devs := make([]*mems.Device, k)
+	devs := make([]tier.Device, k)
 	for i := range devs {
-		d, err := mems.New(p)
+		d, err := tier.New(s)
 		if err != nil {
 			return nil, fmt.Errorf("bank: device %d: %w", i, err)
 		}
@@ -29,16 +31,16 @@ func New(k int, p mems.Params) ([]*mems.Device, error) {
 	return devs, nil
 }
 
-// BufferBank is a k-device MEMS disk buffer. Stream data is never striped:
+// BufferBank is a k-device disk buffer. Stream data is never striped:
 // every disk IO lands wholly on one device, with streams assigned
 // round-robin so every k-th disk IO hits the same device (paper §3.1.2 —
-// striping would shrink disk-side IOs by k and hurt MEMS throughput).
+// striping would shrink disk-side IOs by k and hurt buffer throughput).
 //
 // Each stream owns a two-slot staging ring on its device: the disk writes
 // one slot while the DRAM side drains the other, realizing the
 // double-buffering the capacity bound (Eq 7) accounts for.
 type BufferBank struct {
-	devs     []*mems.Device
+	devs     []tier.Device
 	slotSize units.Bytes
 	perDev   int // staging rings per device
 
@@ -50,7 +52,7 @@ type BufferBank struct {
 
 // NewBufferBank prepares a buffer bank whose staging rings hold slotSize
 // bytes per slot (the disk-side IO size, S_disk-mems).
-func NewBufferBank(devs []*mems.Device, slotSize units.Bytes) (*BufferBank, error) {
+func NewBufferBank(devs []tier.Device, slotSize units.Bytes) (*BufferBank, error) {
 	if len(devs) == 0 {
 		return nil, fmt.Errorf("bank: empty device list")
 	}
@@ -92,7 +94,7 @@ func (b *BufferBank) K() int { return len(b.devs) }
 func (b *BufferBank) SlotSize() units.Bytes { return b.slotSize }
 
 // Device returns device i.
-func (b *BufferBank) Device(i int) *mems.Device { return b.devs[i] }
+func (b *BufferBank) Device(i int) tier.Device { return b.devs[i] }
 
 // Attach assigns a stream to a device round-robin and reserves its staging
 // ring. It returns the device index.
@@ -139,7 +141,7 @@ func (b *BufferBank) DeviceOf(stream int) (int, bool) {
 	return d, ok
 }
 
-// StageRequest builds the MEMS write request that stages bytes arriving
+// StageRequest builds the buffer-device write request that stages bytes arriving
 // from the disk for a stream, alternating between the ring's two slots by
 // cycle parity.
 func (b *BufferBank) StageRequest(stream int, cycle int64, size units.Bytes) (device.Request, int, error) {
@@ -157,7 +159,7 @@ func (b *BufferBank) StageRequest(stream int, cycle int64, size units.Bytes) (de
 	return device.Request{Op: device.Write, Block: base, Blocks: n, Stream: stream}, dev, nil
 }
 
-// DrainRequest builds the MEMS read request that moves a stream's staged
+// DrainRequest builds the buffer-device read request that moves a stream's staged
 // data toward DRAM, reading from the slot the disk filled in the previous
 // cycle.
 func (b *BufferBank) DrainRequest(stream int, cycle int64, size units.Bytes) (device.Request, int, error) {
@@ -187,7 +189,7 @@ func (b *BufferBank) SpareStorage() units.Bytes {
 // streams' aggregate bit-rate: the bank moves each byte twice, so spare =
 // k·R − 2·ΣB̄.
 func (b *BufferBank) SpareBandwidth(aggregate units.ByteRate) units.ByteRate {
-	total := float64(len(b.devs)) * float64(b.devs[0].Params().Rate)
+	total := float64(len(b.devs)) * float64(b.devs[0].Spec().Rate)
 	spare := total - 2*float64(aggregate)
 	if spare < 0 {
 		spare = 0

@@ -6,13 +6,13 @@ import (
 	"time"
 
 	"memstream/internal/device"
-	"memstream/internal/mems"
+	"memstream/internal/tier"
 	"memstream/internal/units"
 )
 
-func devs(t *testing.T, k int) []*mems.Device {
+func devs(t *testing.T, k int) []tier.Device {
 	t.Helper()
-	ds, err := New(k, mems.G3())
+	ds, err := New(k, tier.MustLookup("mems-g3"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -20,10 +20,10 @@ func devs(t *testing.T, k int) []*mems.Device {
 }
 
 func TestNewValidates(t *testing.T) {
-	if _, err := New(0, mems.G3()); err == nil {
+	if _, err := New(0, tier.MustLookup("mems-g3")); err == nil {
 		t.Error("k=0 accepted")
 	}
-	bad := mems.G3()
+	bad := tier.MustLookup("mems-g3")
 	bad.Capacity = 0
 	if _, err := New(1, bad); err == nil {
 		t.Error("invalid params accepted")
@@ -226,8 +226,8 @@ func TestRoundRobinBalanceProperty(t *testing.T) {
 	}
 }
 
-func devsQuick(k int) []*mems.Device {
-	ds, err := New(k, mems.G3())
+func devsQuick(k int) []tier.Device {
+	ds, err := New(k, tier.MustLookup("mems-g3"))
 	if err != nil {
 		panic(err)
 	}

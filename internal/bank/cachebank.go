@@ -5,11 +5,11 @@ import (
 	"time"
 
 	"memstream/internal/device"
-	"memstream/internal/mems"
+	"memstream/internal/tier"
 	"memstream/internal/units"
 )
 
-// CacheBank is a k-device MEMS content cache under one of the paper's two
+// CacheBank is a k-device content cache under one of the paper's two
 // management policies (§3.2).
 type CacheBank interface {
 	// K returns the bank size.
@@ -33,12 +33,12 @@ type CacheBank interface {
 // accessed in lock-step: every device performs the same relative access
 // for every IO. Effective rate k·R, latency unchanged, capacity k·Size.
 type StripedBank struct {
-	devs    []*mems.Device
+	devs    []tier.Device
 	streams map[int]bool
 }
 
 // NewStripedBank wraps devs in lock-step striping.
-func NewStripedBank(devs []*mems.Device) (*StripedBank, error) {
+func NewStripedBank(devs []tier.Device) (*StripedBank, error) {
 	if len(devs) == 0 {
 		return nil, fmt.Errorf("bank: empty device list")
 	}
@@ -98,13 +98,13 @@ func (s *StripedBank) SeeksPerCycle(n int) int { return len(s.devs) * n }
 // is pinned to one device, chosen least-loaded, and ⌈n/k⌉ streams share a
 // device. Effective rate k·R, effective latency L̄/k, capacity Size.
 type ReplicatedBank struct {
-	devs   []*mems.Device
+	devs   []tier.Device
 	assign map[int]int
 	counts []int
 }
 
 // NewReplicatedBank wraps devs in full replication.
-func NewReplicatedBank(devs []*mems.Device) (*ReplicatedBank, error) {
+func NewReplicatedBank(devs []tier.Device) (*ReplicatedBank, error) {
 	if len(devs) == 0 {
 		return nil, fmt.Errorf("bank: empty device list")
 	}

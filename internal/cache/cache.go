@@ -175,7 +175,7 @@ func hybridStreams(cacheK, bufK int, perDevice units.Bytes, disk, memsSpec model
 			if bufK > 0 {
 				bp, err := model.BufferPlan(model.BufferConfig{
 					Load: model.StreamLoad{N: nd, BitRate: bitRate},
-					Disk: disk, MEMS: memsSpec, K: bufK, SizePerDevice: perDevice,
+					Disk: disk, Tier: memsSpec, K: bufK, SizePerDevice: perDevice,
 				})
 				if err != nil {
 					return false

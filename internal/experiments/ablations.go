@@ -6,10 +6,10 @@ import (
 
 	"memstream/internal/device"
 	"memstream/internal/disk"
-	"memstream/internal/mems"
 	"memstream/internal/model"
 	"memstream/internal/plot"
 	"memstream/internal/server"
+	"memstream/internal/tier"
 	"memstream/internal/units"
 )
 
@@ -29,7 +29,7 @@ func init() {
 // buffer.
 func runAblationGSS(uint64) (Result, error) {
 	d := paperDisk()
-	m := paperMEMS()
+	m := paperTier()
 	minLat := units.Milliseconds(0.3 + 1.5) // track switch + avg rotation
 
 	t := &plot.Table{
@@ -53,7 +53,7 @@ func runAblationGSS(uint64) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		cfg := model.BufferConfig{Load: load, Disk: d, MEMS: m, K: 2, SizePerDevice: g3Capacity}
+		cfg := model.BufferConfig{Load: load, Disk: d, Tier: m, K: 2, SizePerDevice: tierCapacity()}
 		buffered, err := model.BufferPlan(cfg)
 		if err != nil {
 			return Result{}, err
@@ -86,7 +86,7 @@ func runAblationEDF(seed uint64) (Result, error) {
 	for _, n := range []int{50, 100, 150} {
 		for _, edf := range []bool{false, true} {
 			cfg := server.Config{
-				Mode: server.Direct, Disk: disk.FutureDisk(), MEMS: mems.G3(),
+				Mode: server.Direct, Disk: disk.FutureDisk(), Tier: curTier,
 				K: 2, N: n, BitRate: 1 * units.MBPS, Titles: 100,
 				X: 10, Y: 90, Seed: seed, UseEDF: edf,
 				Duration: 10 * time.Second,
@@ -127,12 +127,12 @@ func runAblationEDF(seed uint64) (Result, error) {
 func runAblationLayout(uint64) (Result, error) {
 	const n = 32
 	const ioBytes = 1 * units.MB
-	run := func(mk func(d *mems.Device) (mems.Layout, error)) (time.Duration, error) {
-		d, err := mems.New(mems.G3())
+	run := func(mk func(d tier.LayoutCapable) (tier.Layout, error)) (time.Duration, error) {
+		d, err := tier.New(tier.MustLookup("mems-g3"))
 		if err != nil {
 			return 0, err
 		}
-		l, err := mk(d)
+		l, err := mk(d.(tier.LayoutCapable))
 		if err != nil {
 			return 0, err
 		}
@@ -159,11 +159,11 @@ func runAblationLayout(uint64) (Result, error) {
 		}
 		return pos, nil
 	}
-	contig, err := run(func(d *mems.Device) (mems.Layout, error) { return mems.NewContiguous(d, n) })
+	contig, err := run(func(d tier.LayoutCapable) (tier.Layout, error) { return d.ContiguousLayout(n) })
 	if err != nil {
 		return Result{}, err
 	}
-	inter, err := run(func(d *mems.Device) (mems.Layout, error) { return mems.NewInterleaved(d, n, ioBytes) })
+	inter, err := run(func(d tier.LayoutCapable) (tier.Layout, error) { return d.InterleavedLayout(n, ioBytes) })
 	if err != nil {
 		return Result{}, err
 	}

@@ -21,7 +21,7 @@ func init() {
 // buffering+hardware bill of each escape route.
 func runArray(uint64) (Result, error) {
 	d := paperDisk()
-	m := paperMEMS()
+	m := paperTier()
 	diskPrice := units.Dollars(200) // FutureDisk mid-range, Table 3
 
 	t := &plot.Table{
@@ -63,7 +63,7 @@ func runArray(uint64) (Result, error) {
 
 		// Option 3: single disk + the smallest feasible MEMS bank (≥2
 		// devices; high utilization needs more capacity for Eq 7).
-		cfg := model.BufferConfig{Load: load, Disk: d, MEMS: m, SizePerDevice: g3Capacity}
+		cfg := model.BufferConfig{Load: load, Disk: d, Tier: m, SizePerDevice: tierCapacity()}
 		k, plan, err := model.MinFeasibleK(cfg, 2, 64)
 		if err != nil {
 			return Result{}, err

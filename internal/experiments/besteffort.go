@@ -6,9 +6,9 @@ import (
 
 	"memstream/internal/device"
 	"memstream/internal/disk"
-	"memstream/internal/mems"
 	"memstream/internal/plot"
 	"memstream/internal/sim"
+	"memstream/internal/tier"
 	"memstream/internal/units"
 )
 
@@ -82,11 +82,11 @@ func responseDisk(size units.Bytes, batch int, seed uint64) (time.Duration, time
 }
 
 func responseMEMS(size units.Bytes, batch int, seed uint64) (time.Duration, time.Duration, error) {
-	d, err := mems.New(mems.G3())
+	d, err := tier.New(curTier)
 	if err != nil {
 		return 0, 0, err
 	}
-	s := mems.NewScheduler(d, mems.SPTF)
+	s := tier.NewScheduler(d, tier.SPTF)
 	rng := sim.NewRNG(seed)
 	blocks := int64(size / d.Geometry().BlockSize)
 	if blocks < 1 {

@@ -5,9 +5,9 @@ import (
 	"time"
 
 	"memstream/internal/device"
-	"memstream/internal/mems"
 	"memstream/internal/plot"
 	"memstream/internal/sim"
+	"memstream/internal/tier"
 	"memstream/internal/units"
 )
 
@@ -71,9 +71,16 @@ func runAblationDevCache(seed uint64) (Result, error) {
 // runPattern measures mean service time and cache hit ratio for one
 // workload shape.
 func runPattern(streaming, cached bool, accesses int, seed uint64) (time.Duration, float64, error) {
-	d, err := mems.New(mems.G3())
+	dev, err := tier.New(curTier)
 	if err != nil {
 		return 0, 0, err
+	}
+	d, ok := dev.(interface {
+		tier.Device
+		tier.Cacheable
+	})
+	if !ok {
+		return 0, 0, fmt.Errorf("tier %s has no on-device cache support", curTier.Name)
 	}
 	if cached {
 		if err := d.EnableCache(16*units.MB, 1*units.GBPS); err != nil {

@@ -30,13 +30,13 @@ func runDynamics(seed uint64) (Result, error) {
 	direct := model.MaxStreamsDirect(bitRate, paperDisk(), paperCosts.DRAMFor(budget))
 	bufCfg := model.BufferConfig{
 		Load: model.StreamLoad{BitRate: bitRate},
-		Disk: paperDisk(), MEMS: paperMEMS(), K: 2, SizePerDevice: g3Capacity,
+		Disk: paperDisk(), Tier: paperTier(), K: 2, SizePerDevice: tierCapacity(),
 	}
 	buffered := model.MaxStreamsBuffered(bufCfg, paperCosts.DRAMFor(budget-paperCosts.BankCost(2)))
 	cacheCfg := model.CacheConfig{
 		Load: model.StreamLoad{N: 1, BitRate: bitRate},
-		Disk: paperDisk(), MEMS: paperMEMS(), K: 2, Policy: model.Striped,
-		SizePerDevice: g3Capacity, ContentSize: contentSize, X: 5, Y: 95,
+		Disk: paperDisk(), Tier: paperTier(), K: 2, Policy: model.Striped,
+		SizePerDevice: tierCapacity(), ContentSize: contentSize, X: 5, Y: 95,
 	}
 	cached := model.MaxStreamsCached(cacheCfg, paperCosts.DRAMFor(budget-paperCosts.BankCost(2)))
 

@@ -11,10 +11,10 @@ import (
 	"time"
 
 	"memstream/internal/disk"
-	"memstream/internal/mems"
 	"memstream/internal/model"
 	"memstream/internal/plot"
 	"memstream/internal/server"
+	"memstream/internal/tier"
 	"memstream/internal/units"
 )
 
@@ -111,18 +111,41 @@ func paperDisk() model.DeviceSpec {
 	return model.DeviceSpec{Rate: p.OuterRate, Latency: p.AvgAccess()}
 }
 
-// paperMEMS is the G3 spec under the paper's convention (maximum
-// positioning latency).
-func paperMEMS() model.DeviceSpec {
-	p := mems.G3()
-	return model.DeviceSpec{Rate: p.Rate, Latency: p.MaxLatency()}
+// curTier is the middle-tier parameter set the tier-aware experiments
+// run with — wired from the CLIs' -tier flag. The default is the paper's
+// G3 MEMS device, under which every artifact is byte-identical to the
+// pre-tier goldens (the pinned sha256 suite enforces this). Experiments
+// that study MEMS specifics (generation sweeps, Table 1–3, sled layout)
+// pin their own specs and ignore the override. Set it before starting a
+// suite; it is read concurrently by suite workers.
+var curTier = tier.MustLookup(tier.Default)
+
+// SetTier selects the middle-tier parameter set by registry name. Call
+// before RunSuite; unknown names error with the available sets.
+func SetTier(name string) error {
+	s, err := tier.Lookup(name)
+	if err != nil {
+		return err
+	}
+	curTier = s
+	return nil
 }
 
-// memsAtRatio returns a MEMS spec whose latency realizes the given
-// disk/MEMS latency ratio (the sensitivity knob of §5.1).
-func memsAtRatio(ratio float64) model.DeviceSpec {
+// CurrentTier reports the active middle-tier parameter set.
+func CurrentTier() tier.Spec { return curTier }
+
+// paperTier is the configured middle tier under the paper's convention
+// (maximum positioning latency). With the default tier this is exactly
+// the old G3 MEMS spec.
+func paperTier() model.DeviceSpec {
+	return model.DeviceSpec{Rate: curTier.Rate, Latency: curTier.MaxLatency}
+}
+
+// tierAtRatio returns a middle-tier spec whose latency realizes the
+// given disk/tier latency ratio (the sensitivity knob of §5.1).
+func tierAtRatio(ratio float64) model.DeviceSpec {
 	d := paperDisk()
-	m := paperMEMS()
+	m := paperTier()
 	m.Latency = units.Seconds(d.Latency.Seconds() / ratio)
 	return m
 }
@@ -146,8 +169,11 @@ var distributions = []struct {
 }
 
 const (
-	g3Capacity  = 10 * units.GB
 	contentSize = 1000 * units.GB // Size_disk: one FutureDisk of content
 )
+
+// tierCapacity is Size_tier of the configured middle tier (10GB for the
+// default G3 MEMS).
+func tierCapacity() units.Bytes { return curTier.Capacity }
 
 var paperCosts = model.Table3Costs()

@@ -12,7 +12,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"ablation-devcache", "ablation-edf", "ablation-gss", "ablation-layout", "ablation-routing", "array", "besteffort", "dynamics",
 		"fig10", "fig2", "fig4", "fig5", "fig6", "fig7a", "fig7b",
-		"fig8", "fig9-zipf", "fig9a", "fig9b", "generations", "hybrid", "occupancy", "sens", "shardscale", "table1", "table2", "table3", "validate", "year2002",
+		"fig8", "fig9-zipf", "fig9a", "fig9b", "generations", "hybrid", "occupancy", "sens", "shardscale", "table1", "table2", "table3", "tiercompare", "validate", "year2002",
 	}
 	got := IDs()
 	if len(got) != len(want) {
@@ -336,7 +336,7 @@ func TestSchedulesRender(t *testing.T) {
 
 func TestRelaxedBufferPlan(t *testing.T) {
 	load := model.StreamLoad{N: 10000, BitRate: 10 * units.KBPS}
-	plan, ok := relaxedBufferPlan(load, paperDisk(), paperMEMS(), paperCosts, 64)
+	plan, ok := relaxedBufferPlan(load, paperDisk(), paperTier(), paperCosts, 64)
 	if !ok {
 		t.Fatal("relaxed plan infeasible")
 	}
@@ -358,7 +358,7 @@ func TestRelaxedBufferPlan(t *testing.T) {
 	}
 	// Infeasible load.
 	if _, ok := relaxedBufferPlan(model.StreamLoad{N: 100000, BitRate: 10 * units.MBPS},
-		paperDisk(), paperMEMS(), paperCosts, 8); ok {
+		paperDisk(), paperTier(), paperCosts, 8); ok {
 		t.Error("impossible load accepted")
 	}
 }

@@ -17,7 +17,7 @@ func init() {
 // the average IO size grows from 16KB to 10MB.
 func runFig2(uint64) (Result, error) {
 	d := paperDisk()
-	m := paperMEMS()
+	m := paperTier()
 
 	sizes := []units.Bytes{
 		16 * units.KB, 32 * units.KB, 64 * units.KB, 128 * units.KB,

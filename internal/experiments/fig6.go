@@ -55,7 +55,7 @@ func streamCounts(nMax int) []int {
 // which is how the paper's curves terminate.
 func runFig6(uint64) (Result, error) {
 	d := paperDisk()
-	m := paperMEMS()
+	m := paperTier()
 
 	var without, with []plot.Series
 	var summary string

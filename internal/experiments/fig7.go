@@ -26,7 +26,7 @@ const (
 // MEMS-buffered box must serve the same population.
 func costReductionAt(bitRate units.ByteRate, ratio float64) (float64, bool) {
 	d := paperDisk()
-	m := memsAtRatio(ratio)
+	m := tierAtRatio(ratio)
 
 	n := model.MaxStreamsDirect(bitRate, d, shelfDRAMCap)
 	if n < 1 {
@@ -39,7 +39,7 @@ func costReductionAt(bitRate units.ByteRate, ratio float64) (float64, bool) {
 	}
 	costWithout := paperCosts.DRAMCost(direct.TotalDRAM)
 
-	cfg := model.BufferConfig{Load: load, Disk: d, MEMS: m, K: shelfK, SizePerDevice: g3Capacity}
+	cfg := model.BufferConfig{Load: load, Disk: d, Tier: m, K: shelfK, SizePerDevice: tierCapacity()}
 	plan, err := model.BufferPlan(cfg)
 	if err != nil {
 		return 0, false

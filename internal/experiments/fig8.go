@@ -17,7 +17,7 @@ func init() {
 // feasible bank of at least two G3 devices.
 func runFig8(uint64) (Result, error) {
 	d := paperDisk()
-	m := paperMEMS()
+	m := paperTier()
 
 	var series []plot.Series
 	var summary string

@@ -33,10 +33,10 @@ func cacheThroughput(bitRate units.ByteRate, x, y float64, budget units.Dollars,
 	cfg := model.CacheConfig{
 		Load:          model.StreamLoad{N: 1, BitRate: bitRate},
 		Disk:          paperDisk(),
-		MEMS:          paperMEMS(),
+		Tier:          paperTier(),
 		K:             k,
 		Policy:        policy,
-		SizePerDevice: g3Capacity,
+		SizePerDevice: tierCapacity(),
 		ContentSize:   contentSize,
 		X:             x,
 		Y:             y,

@@ -4,9 +4,9 @@ import (
 	"fmt"
 
 	"memstream/internal/disk"
-	"memstream/internal/mems"
 	"memstream/internal/model"
 	"memstream/internal/plot"
+	"memstream/internal/tier"
 	"memstream/internal/units"
 )
 
@@ -35,12 +35,13 @@ func runGenerations(uint64) (Result, error) {
 		Headers: []string{"device", "R", "L̄max", "buffer k", "buffered DRAM",
 			"buffer cost", "cache gain ($100, 1:99)"},
 	}
-	for _, p := range []mems.Params{mems.G1(), mems.G2(), mems.G3()} {
-		spec := model.DeviceSpec{Rate: p.Rate, Latency: p.MaxLatency()}
-		costs := model.CostModel{DRAMPerGB: 20, MEMSPerGB: p.CostPerGB, MEMSSize: p.Capacity}
+	for _, gen := range []string{"mems-g1", "mems-g2", "mems-g3"} {
+		p := tier.MustLookup(gen)
+		spec := model.DeviceSpec{Rate: p.Rate, Latency: p.MaxLatency}
+		costs := model.NewCostModel(20, p.CostPerGB, p.Capacity)
 
 		bufferCell, dramCell, kCell := "infeasible", "-", "-"
-		cfg := model.BufferConfig{Load: load, Disk: d, MEMS: spec, SizePerDevice: p.Capacity}
+		cfg := model.BufferConfig{Load: load, Disk: d, Tier: spec, SizePerDevice: p.Capacity}
 		if k, plan, err := model.MinFeasibleK(cfg, 2, 64); err == nil {
 			kCell = fmt.Sprintf("%d", k)
 			dramCell = plan.TotalDRAM.String()
@@ -56,13 +57,13 @@ func runGenerations(uint64) (Result, error) {
 		// Cache gain at a $100 budget under 1:99 popularity.
 		base := model.MaxStreamsDirect(load.BitRate, d, costs.DRAMFor(100))
 		gainCell := "-"
-		if devBudget := costs.MEMSDeviceCost(); devBudget < 100 {
+		if devBudget := costs.DeviceCost(0); devBudget < 100 {
 			k := 2
 			dram := costs.DRAMFor(100 - costs.BankCost(k))
 			if dram > 0 {
 				ccfg := model.CacheConfig{
 					Load: model.StreamLoad{N: 1, BitRate: load.BitRate},
-					Disk: d, MEMS: spec, K: k, Policy: model.Striped,
+					Disk: d, Tier: spec, K: k, Policy: model.Striped,
 					SizePerDevice: p.Capacity, ContentSize: contentSize,
 					X: 1, Y: 99,
 				}
@@ -70,8 +71,8 @@ func runGenerations(uint64) (Result, error) {
 				gainCell = fmt.Sprintf("%+.0f%%", 100*(float64(n)-float64(base))/float64(base))
 			}
 		}
-		t.AddRow(p.Name, p.Rate.String(),
-			p.MaxLatency().Round(10000).String(),
+		t.AddRow(p.MEMS.Name, p.Rate.String(),
+			p.MaxLatency.Round(10000).String(),
 			kCell, dramCell, bufferCell, gainCell)
 	}
 	out := t.Render() +
@@ -88,7 +89,7 @@ func runGenerations(uint64) (Result, error) {
 func runYear2002(uint64) (Result, error) {
 	p := disk.Atlas10K3()
 	d := model.DeviceSpec{Rate: p.OuterRate, Latency: p.AvgAccess()}
-	costs2002 := model.CostModel{DRAMPerGB: 200, MEMSPerGB: 10, MEMSSize: 3.46 * units.GB}
+	costs2002 := model.NewCostModel(200, 10, 3.46*units.GB)
 
 	t := &plot.Table{
 		Title:   "Year 2002: Atlas 10K III (55MB/s), DRAM at $200/GB",

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"memstream/internal/disk"
-	"memstream/internal/mems"
 	"memstream/internal/plot"
 	"memstream/internal/server"
 	"memstream/internal/units"
@@ -36,7 +35,7 @@ func runHybridExperiment(seed uint64) (Result, error) {
 	for _, dist := range []struct{ x, y float64 }{{5, 95}, {50, 50}} {
 		for j := 0; j <= k; j++ {
 			cfg := server.Config{
-				Disk: disk.FutureDisk(), MEMS: mems.G3(),
+				Disk: disk.FutureDisk(), Tier: curTier,
 				K: k, CacheDevices: j,
 				N: n, BitRate: bitRate, Titles: titles,
 				X: dist.x, Y: dist.y, Seed: seed,

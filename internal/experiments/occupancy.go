@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"memstream/internal/disk"
-	"memstream/internal/mems"
 	"memstream/internal/model"
 	"memstream/internal/plot"
 	"memstream/internal/server"
@@ -38,7 +37,7 @@ func runOccupancy(seed uint64) (Result, error) {
 			Titles: 50, X: 10, Y: 90, Seed: seed, Trace: true,
 		}},
 		{"mems-cache 400x100KB/s", server.Config{
-			Mode: server.Cached, Disk: disk.FutureDisk(), MEMS: mems.G3(),
+			Mode: server.Cached, Disk: disk.FutureDisk(), Tier: curTier,
 			K: 2, CachePolicy: model.Striped,
 			N: 400, BitRate: 100 * units.KBPS,
 			Titles: 200, X: 10, Y: 90, Seed: seed, Trace: true,

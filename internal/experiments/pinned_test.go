@@ -41,6 +41,15 @@ func fingerprint(res Result) string {
 // trips this test reordered or perturbed events and must be fixed, not
 // re-pinned.
 func TestPinnedResultEquivalence(t *testing.T) {
+	// The pin is defined at the paper's published operating point: pin the
+	// middle tier to G3 MEMS explicitly so a stray SetTier in another test
+	// (or a future default change) cannot silently move the goalposts.
+	prev := CurrentTier()
+	if err := SetTier("mems-g3"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { curTier = prev })
+
 	path := filepath.Join("testdata", "pinned_results.json")
 	got := map[string]string{}
 	for _, seed := range pinnedSeeds {

@@ -51,7 +51,7 @@ func relaxedBufferPlan(load model.StreamLoad, d, m model.DeviceSpec,
 	c := n * m.Latency.Seconds() * rm / (float64(k)*rm - 2*(n+float64(k)-1)*b)
 
 	slack := 1 + (2*float64(k)-2)/n
-	perByteMEMS := float64(costs.MEMSPerGB) / 1e9
+	perByteMEMS := float64(costs.Tiers[0].PerGB) / 1e9
 	perByteDRAM := float64(costs.DRAMPerGB) / 1e9
 	cost := func(t float64) float64 {
 		s := b * c * slack * t / (t - c)

@@ -6,7 +6,6 @@ import (
 
 	"memstream/internal/bank"
 	"memstream/internal/device"
-	"memstream/internal/mems"
 	"memstream/internal/plot"
 	"memstream/internal/sim"
 	"memstream/internal/units"
@@ -60,7 +59,7 @@ func runAblationRouting(seed uint64) (Result, error) {
 // stageWhole round-robins whole IOs across k parallel devices and returns
 // the achieved aggregate throughput.
 func stageWhole(k, batch int, size units.Bytes, seed uint64) (units.ByteRate, error) {
-	devs, err := bank.New(k, mems.G3())
+	devs, err := bank.New(k, curTier)
 	if err != nil {
 		return 0, err
 	}
@@ -94,7 +93,7 @@ func stageWhole(k, batch int, size units.Bytes, seed uint64) (units.ByteRate, er
 // stageStriped splits every IO into k lock-step pieces and returns the
 // achieved aggregate throughput.
 func stageStriped(k, batch int, size units.Bytes, seed uint64) (units.ByteRate, error) {
-	devs, err := bank.New(k, mems.G3())
+	devs, err := bank.New(k, curTier)
 	if err != nil {
 		return 0, err
 	}

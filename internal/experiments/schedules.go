@@ -49,10 +49,10 @@ func runFig5(uint64) (Result, error) {
 
 func renderSchedule(n, k int) (Result, error) {
 	d := paperDisk()
-	m := paperMEMS()
+	m := paperTier()
 	cfg := model.BufferConfig{
 		Load: model.StreamLoad{N: n, BitRate: 1 * units.MBPS},
-		Disk: d, MEMS: m, K: k, SizePerDevice: g3Capacity,
+		Disk: d, Tier: m, K: k, SizePerDevice: tierCapacity(),
 	}
 	plan, err := model.BufferPlan(cfg)
 	if err != nil {

@@ -46,17 +46,13 @@ func runSensitivity(uint64) (Result, error) {
 		}()...),
 	}
 	for _, bw := range bwFactors {
-		m := paperMEMS()
+		m := paperTier()
 		m.Rate = units.ByteRate(bw * float64(d.Rate))
 		row := []string{fmt.Sprintf("%.2gx", bw)}
 		for _, pr := range priceRatios {
-			costs := model.CostModel{
-				DRAMPerGB: 20,
-				MEMSPerGB: units.Dollars(20 / pr),
-				MEMSSize:  10 * units.GB,
-			}
+			costs := model.NewCostModel(20, units.Dollars(20/pr), 10*units.GB)
 			cell := "infeasible"
-			cfg := model.BufferConfig{Load: load, Disk: d, MEMS: m, K: shelfK, SizePerDevice: 10 * units.GB}
+			cfg := model.BufferConfig{Load: load, Disk: d, Tier: m, K: shelfK, SizePerDevice: 10 * units.GB}
 			if plan, err := model.BufferPlan(cfg); err == nil {
 				without := costs.DRAMCost(direct.TotalDRAM)
 				with := costs.BankCost(shelfK) + costs.DRAMCost(plan.TotalDRAM)

@@ -5,8 +5,8 @@ import (
 	"time"
 
 	"memstream/internal/disk"
-	"memstream/internal/mems"
 	"memstream/internal/plot"
+	"memstream/internal/tier"
 )
 
 func init() {
@@ -30,13 +30,13 @@ func runTable1(uint64) (Result, error) {
 	t.AddRow("2002", "Cost/GB", "$200", "n/a", "$2")
 	t.AddRow("2002", "Cost/device", "$50-$200", "n/a", "$100-$300")
 
-	m := mems.G3()
+	m := tier.MustLookup("mems-g3")
 	d := disk.FutureDisk()
 	t.AddRow("2007", "Capacity [GB]", "5",
 		fmt.Sprintf("%.0f", float64(m.Capacity)/1e9),
 		fmt.Sprintf("%.0f", float64(d.Capacity)/1e9))
 	t.AddRow("2007", "Access time [ms]", "0.03",
-		fmt.Sprintf("%.2f (max)", float64(m.MaxLatency())/float64(time.Millisecond)),
+		fmt.Sprintf("%.2f (max)", float64(m.MaxLatency)/float64(time.Millisecond)),
 		fmt.Sprintf("%.2f (avg)", float64(d.AvgAccess())/float64(time.Millisecond)))
 	t.AddRow("2007", "Bandwidth [MB/s]", "10000",
 		fmt.Sprintf("%.0f", float64(m.Rate)/1e6),
@@ -85,7 +85,7 @@ func runTable2(uint64) (Result, error) {
 // guaranteed to match what the experiments run.
 func runTable3(uint64) (Result, error) {
 	d := disk.FutureDisk()
-	m := mems.G3()
+	m := tier.MustLookup("mems-g3")
 	t := &plot.Table{
 		Title:   "Performance characteristics of storage devices in the year 2007",
 		Headers: []string{"Parameter", "FutureDisk", "G3 MEMS", "DRAM"},
@@ -99,8 +99,8 @@ func runTable3(uint64) (Result, error) {
 		fmt.Sprintf("%.0f", float64(m.Rate)/1e6),
 		"10000")
 	t.AddRow("Average seek [ms]", ms(d.AvgSeek), "-", "-")
-	t.AddRow("Full stroke seek [ms]", ms(d.FullStrokeSeek), ms(m.FullStrokeSeekX), "-")
-	t.AddRow("X settle time [ms]", "-", ms(m.SettleX), "-")
+	t.AddRow("Full stroke seek [ms]", ms(d.FullStrokeSeek), ms(m.MEMS.FullStrokeSeekX), "-")
+	t.AddRow("X settle time [ms]", "-", ms(m.MEMS.SettleX), "-")
 	t.AddRow("Capacity per device [GB]",
 		fmt.Sprintf("%.0f", float64(d.Capacity)/1e9),
 		fmt.Sprintf("%.0f", float64(m.Capacity)/1e9),
@@ -114,7 +114,7 @@ func runTable3(uint64) (Result, error) {
 		"50-200")
 	out := t.Render()
 	out += fmt.Sprintf("\nDerived: L̄_disk (avg seek + avg rotation) = %v; L̄_mems (max) = %v; latency ratio = %.1f\n",
-		d.AvgAccess(), m.MaxLatency(),
-		d.AvgAccess().Seconds()/m.MaxLatency().Seconds())
+		d.AvgAccess(), m.MaxLatency,
+		d.AvgAccess().Seconds()/m.MaxLatency.Seconds())
 	return Result{Output: out}, nil
 }

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"memstream/internal/disk"
-	"memstream/internal/mems"
 	"memstream/internal/model"
 	"memstream/internal/plot"
 	"memstream/internal/server"
@@ -45,7 +44,7 @@ func runValidate(seed uint64) (Result, error) {
 		cfg := server.Config{
 			Mode:        rc.mode,
 			Disk:        disk.FutureDisk(),
-			MEMS:        mems.G3(),
+			Tier:        curTier,
 			K:           2,
 			CachePolicy: rc.policy,
 			N:           rc.n,

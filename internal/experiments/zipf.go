@@ -33,7 +33,7 @@ func runFig9Zipf(uint64) (Result, error) {
 
 	// One device title footprint: contentSize spread over the catalog.
 	titleSize := contentSize / units.Bytes(titles)
-	cachedTitles := int(float64(k*g3Capacity) / float64(titleSize)) // striped pools capacity
+	cachedTitles := int(float64(k) * float64(tierCapacity()) / float64(titleSize)) // striped pools capacity
 	p := float64(cachedTitles) / float64(titles)
 
 	t := &plot.Table{
@@ -52,9 +52,9 @@ func runFig9Zipf(uint64) (Result, error) {
 
 		cfg := model.CacheConfig{
 			Load: model.StreamLoad{N: 1, BitRate: bitRate},
-			Disk: paperDisk(), MEMS: paperMEMS(),
+			Disk: paperDisk(), Tier: paperTier(),
 			K: k, Policy: model.Striped,
-			SizePerDevice: g3Capacity, ContentSize: contentSize,
+			SizePerDevice: tierCapacity(), ContentSize: contentSize,
 		}
 		n := maxStreamsWithHit(cfg, h, dram)
 		gain := 100 * (float64(n) - float64(base)) / float64(base)

@@ -123,11 +123,12 @@ func validateCacheArgs(n, k int, bitRate units.ByteRate, mems DeviceSpec) error 
 	return mems.Validate()
 }
 
-// CacheConfig describes a server with a k-device MEMS content cache.
+// CacheConfig describes a server with a k-device middle-tier content
+// cache (MEMS in the paper).
 type CacheConfig struct {
 	Load          StreamLoad
 	Disk          DeviceSpec
-	MEMS          DeviceSpec
+	Tier          DeviceSpec // middle-tier device (the paper's MEMS)
 	K             int
 	Policy        CachePolicy
 	SizePerDevice units.Bytes // Size_mems
@@ -156,7 +157,7 @@ func (c CacheConfig) validatePopularityFree() error {
 	if err := c.Disk.Validate(); err != nil {
 		return err
 	}
-	if err := c.MEMS.Validate(); err != nil {
+	if err := c.Tier.Validate(); err != nil {
 		return err
 	}
 	if c.K <= 0 {
@@ -234,9 +235,9 @@ func CachePlanWithHit(cfg CacheConfig, h float64) (CachedPlan, error) {
 		var cp DirectPlan
 		var err error
 		if cfg.Policy == Striped {
-			cp, err = StripedCache(n, cfg.K, cfg.Load.BitRate, cfg.MEMS)
+			cp, err = StripedCache(n, cfg.K, cfg.Load.BitRate, cfg.Tier)
 		} else {
-			cp, err = ReplicatedCache(n, cfg.K, cfg.Load.BitRate, cfg.MEMS)
+			cp, err = ReplicatedCache(n, cfg.K, cfg.Load.BitRate, cfg.Tier)
 		}
 		if err != nil {
 			return CachedPlan{}, fmt.Errorf("cache side: %w", err)

@@ -210,7 +210,7 @@ func TestCacheArgValidation(t *testing.T) {
 func TestCachedFraction(t *testing.T) {
 	cfg := CacheConfig{
 		Load: StreamLoad{N: 100, BitRate: units.MBPS},
-		Disk: futureDiskSpec(), MEMS: g3Spec(),
+		Disk: futureDiskSpec(), Tier: g3Spec(),
 		K: 4, SizePerDevice: 10 * units.GB, ContentSize: 1000 * units.GB,
 		X: 10, Y: 90,
 	}
@@ -232,7 +232,7 @@ func TestCachedFraction(t *testing.T) {
 func TestCachePlanSplitsStreams(t *testing.T) {
 	cfg := CacheConfig{
 		Load: StreamLoad{N: 1000, BitRate: 10 * units.KBPS},
-		Disk: futureDiskSpec(), MEMS: g3Spec(),
+		Disk: futureDiskSpec(), Tier: g3Spec(),
 		K: 1, Policy: Striped,
 		SizePerDevice: 10 * units.GB, ContentSize: 1000 * units.GB,
 		X: 1, Y: 99,
@@ -259,7 +259,7 @@ func TestCachePlanSplitsStreams(t *testing.T) {
 func TestCachePlanAllFromCache(t *testing.T) {
 	cfg := CacheConfig{
 		Load: StreamLoad{N: 100, BitRate: 10 * units.KBPS},
-		Disk: futureDiskSpec(), MEMS: g3Spec(),
+		Disk: futureDiskSpec(), Tier: g3Spec(),
 		K: 1, Policy: Replicated,
 		SizePerDevice: 10 * units.GB, ContentSize: 10 * units.GB, // whole catalog cached
 		X: 10, Y: 90,
@@ -294,7 +294,7 @@ func TestCostModel(t *testing.T) {
 	if err := c.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	if got := c.MEMSDeviceCost(); math.Abs(float64(got-10)) > 1e-9 {
+	if got := c.DeviceCost(0); math.Abs(float64(got-10)) > 1e-9 {
 		t.Errorf("device cost = %v, want $10", got)
 	}
 	if got := c.BankCost(4); math.Abs(float64(got-40)) > 1e-9 {
@@ -304,7 +304,7 @@ func TestCostModel(t *testing.T) {
 		t.Errorf("DRAM cost = %v, want $100", got)
 	}
 	// The paper's headline ratio: MEMS buffering is 20x cheaper per byte.
-	if ratio := float64(c.DRAMPerGB) / float64(c.MEMSPerGB); ratio != 20 {
+	if ratio := float64(c.DRAMPerGB) / float64(c.Tiers[0].PerGB); ratio != 20 {
 		t.Errorf("DRAM/MEMS price ratio = %v, want 20", ratio)
 	}
 	if got := c.DRAMFor(100); got != 5*units.GB {
@@ -317,9 +317,10 @@ func TestCostModel(t *testing.T) {
 
 func TestCostModelValidate(t *testing.T) {
 	for _, c := range []CostModel{
-		{DRAMPerGB: 0, MEMSPerGB: 1, MEMSSize: units.GB},
-		{DRAMPerGB: 20, MEMSPerGB: 0, MEMSSize: units.GB},
-		{DRAMPerGB: 20, MEMSPerGB: 1, MEMSSize: 0},
+		NewCostModel(0, 1, units.GB),
+		NewCostModel(20, 0, units.GB),
+		NewCostModel(20, 1, 0),
+		{DRAMPerGB: 20}, // no tiers at all
 	} {
 		if err := c.Validate(); err == nil {
 			t.Errorf("cost model %+v accepted", c)
@@ -336,7 +337,7 @@ func TestCostWithBufferCheaperAtLowBitRates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := BufferConfig{Load: load, Disk: futureDiskSpec(), MEMS: g3Spec(),
+	cfg := BufferConfig{Load: load, Disk: futureDiskSpec(), Tier: g3Spec(),
 		K: 2, SizePerDevice: 10 * units.GB}
 	with, err := CostWithBuffer(cfg, costs)
 	if err != nil {
@@ -356,7 +357,7 @@ func TestCostWithCache(t *testing.T) {
 	costs := Table3Costs()
 	cfg := CacheConfig{
 		Load: StreamLoad{N: 5000, BitRate: 10 * units.KBPS},
-		Disk: futureDiskSpec(), MEMS: g3Spec(),
+		Disk: futureDiskSpec(), Tier: g3Spec(),
 		K: 1, Policy: Striped,
 		SizePerDevice: 10 * units.GB, ContentSize: 1000 * units.GB,
 		X: 1, Y: 99,
@@ -382,7 +383,7 @@ func TestMaxStreamsCachedBeatsDirectForSkewedPopularity(t *testing.T) {
 	dramWithCache := costs.DRAMFor(budget - costs.BankCost(k))
 	cfg := CacheConfig{
 		Load: StreamLoad{N: 1, BitRate: 10 * units.KBPS},
-		Disk: futureDiskSpec(), MEMS: g3Spec(),
+		Disk: futureDiskSpec(), Tier: g3Spec(),
 		K: k, Policy: Striped,
 		SizePerDevice: 10 * units.GB, ContentSize: 1000 * units.GB,
 		X: 1, Y: 99,
@@ -400,7 +401,7 @@ func TestMaxStreamsCachedUniformPopularityNotCostEffective(t *testing.T) {
 	direct := MaxStreamsDirect(10*units.KBPS, futureDiskSpec(), costs.DRAMFor(budget))
 	cfg := CacheConfig{
 		Load: StreamLoad{N: 1, BitRate: 10 * units.KBPS},
-		Disk: futureDiskSpec(), MEMS: g3Spec(),
+		Disk: futureDiskSpec(), Tier: g3Spec(),
 		K: 1, Policy: Striped,
 		SizePerDevice: 10 * units.GB, ContentSize: 1000 * units.GB,
 		X: 50, Y: 50,
@@ -418,7 +419,7 @@ func TestCachePlanWithHitConsistencyProperty(t *testing.T) {
 		y := x + float64(yRaw)*(99-x)/255 // ensure Y ≥ X
 		cfg := CacheConfig{
 			Load: StreamLoad{N: int(nn%2000) + 10, BitRate: 10 * units.KBPS},
-			Disk: futureDiskSpec(), MEMS: g3Spec(),
+			Disk: futureDiskSpec(), Tier: g3Spec(),
 			K: 2, Policy: Striped,
 			SizePerDevice: 10 * units.GB, ContentSize: 1000 * units.GB,
 			X: x, Y: y,
@@ -445,7 +446,7 @@ func TestCachePlanWithHitConsistencyProperty(t *testing.T) {
 func TestCachePlanWithHitValidation(t *testing.T) {
 	cfg := CacheConfig{
 		Load: StreamLoad{N: 100, BitRate: 10 * units.KBPS},
-		Disk: futureDiskSpec(), MEMS: g3Spec(),
+		Disk: futureDiskSpec(), Tier: g3Spec(),
 		K: 1, Policy: Striped,
 		SizePerDevice: 10 * units.GB, ContentSize: 1000 * units.GB,
 	}
@@ -486,7 +487,7 @@ func TestCachePlanWithHitIgnoresPartialXY(t *testing.T) {
 
 	base := CacheConfig{
 		Load: StreamLoad{N: 100, BitRate: 10 * units.KBPS},
-		Disk: futureDiskSpec(), MEMS: g3Spec(),
+		Disk: futureDiskSpec(), Tier: g3Spec(),
 		K: 2, Policy: Striped,
 		SizePerDevice: 10 * units.GB, ContentSize: 1000 * units.GB,
 	}

@@ -7,25 +7,46 @@ import (
 	"memstream/internal/units"
 )
 
-// CostModel carries the unit prices of the two buffering media. The paper
-// prices DRAM per byte and MEMS per device: a bank of k devices costs
-// k·C_mems·Size_mems even when partially used (its Eq 2).
+// TierCost prices one middle tier: devices are bought whole, so a bank
+// of k devices costs k·PerGB·DeviceSize even when partially used (the
+// paper's Eq 2, stated there for MEMS).
+type TierCost struct {
+	PerGB      units.Dollars // C_tier, $/GB
+	DeviceSize units.Bytes   // Size_tier, capacity of one device
+}
+
+// CostModel carries the unit prices of the buffering media: DRAM per
+// byte plus one entry per middle tier. The paper's hierarchy has exactly
+// one middle tier (MEMS); the vector form prices arbitrary N-tier
+// hierarchies with the same per-device model.
 type CostModel struct {
 	DRAMPerGB units.Dollars // C_dram, $/GB
-	MEMSPerGB units.Dollars // C_mems, $/GB
-	MEMSSize  units.Bytes   // Size_mems, capacity of one device
+	Tiers     []TierCost    // middle tiers, outermost first
+}
+
+// NewCostModel builds the common single-middle-tier model.
+func NewCostModel(dramPerGB, tierPerGB units.Dollars, deviceSize units.Bytes) CostModel {
+	return CostModel{
+		DRAMPerGB: dramPerGB,
+		Tiers:     []TierCost{{PerGB: tierPerGB, DeviceSize: deviceSize}},
+	}
 }
 
 // Table3Costs returns the paper's 2007 price points: DRAM $20/GB, MEMS
 // $1/GB in 10GB devices ($10/device).
 func Table3Costs() CostModel {
-	return CostModel{DRAMPerGB: 20, MEMSPerGB: 1, MEMSSize: 10 * units.GB}
+	return NewCostModel(20, 1, 10*units.GB)
 }
 
 // Validate checks the prices.
 func (c CostModel) Validate() error {
-	if c.DRAMPerGB <= 0 || c.MEMSPerGB <= 0 || c.MEMSSize <= 0 {
+	if c.DRAMPerGB <= 0 || len(c.Tiers) == 0 {
 		return fmt.Errorf("model: cost model has non-positive entries: %+v", c)
+	}
+	for _, t := range c.Tiers {
+		if t.PerGB <= 0 || t.DeviceSize <= 0 {
+			return fmt.Errorf("model: cost model has non-positive entries: %+v", c)
+		}
 	}
 	return nil
 }
@@ -35,14 +56,35 @@ func (c CostModel) DRAMCost(b units.Bytes) units.Dollars {
 	return units.PerGB(c.DRAMPerGB).Cost(b)
 }
 
-// MEMSDeviceCost prices one MEMS device (C_mems · Size_mems).
-func (c CostModel) MEMSDeviceCost() units.Dollars {
-	return units.PerGB(c.MEMSPerGB).Cost(c.MEMSSize)
+// DeviceCost prices one device of tier i (C_tier · Size_tier).
+func (c CostModel) DeviceCost(i int) units.Dollars {
+	t := c.Tiers[i]
+	return units.PerGB(t.PerGB).Cost(t.DeviceSize)
 }
 
-// BankCost prices a k-device bank (the per-device model of Eq 2).
+// BankCost prices a k-device bank of the first middle tier (the
+// per-device model of Eq 2).
 func (c CostModel) BankCost(k int) units.Dollars {
-	return units.Dollars(float64(k) * float64(c.MEMSDeviceCost()))
+	return c.TierBankCost(0, k)
+}
+
+// TierBankCost prices a k-device bank of tier i.
+func (c CostModel) TierBankCost(i, k int) units.Dollars {
+	return units.Dollars(float64(k) * float64(c.DeviceCost(i)))
+}
+
+// HierarchyCost prices a whole configuration: dram bytes of DRAM plus a
+// bank per middle tier, ks[i] devices of tier i. Eq 2/9 generalized to N
+// tiers.
+func (c CostModel) HierarchyCost(dram units.Bytes, ks []int) (units.Dollars, error) {
+	if len(ks) != len(c.Tiers) {
+		return 0, fmt.Errorf("model: %d bank sizes for %d tiers", len(ks), len(c.Tiers))
+	}
+	total := c.DRAMCost(dram)
+	for i, k := range ks {
+		total += c.TierBankCost(i, k)
+	}
+	return total, nil
 }
 
 // DRAMFor inverts DRAMCost: how much DRAM a budget buys.

@@ -110,7 +110,7 @@ func TestGSSRelatesToMEMSBuffering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := BufferConfig{Load: load, Disk: d, MEMS: g3Spec(), K: 2, SizePerDevice: 10 * units.GB}
+	cfg := BufferConfig{Load: load, Disk: d, Tier: g3Spec(), K: 2, SizePerDevice: 10 * units.GB}
 	buffered, err := BufferPlan(cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -120,13 +120,14 @@ func MEMSDirect(load StreamLoad, mems DeviceSpec) (DirectPlan, error) {
 	return DiskDirect(load, mems) // identical algebra with R, L̄ of the MEMS device
 }
 
-// BufferConfig describes a k-device MEMS bank used as a disk buffer.
+// BufferConfig describes a k-device middle-tier bank (MEMS in the
+// paper) used as a disk buffer.
 type BufferConfig struct {
 	Load          StreamLoad
 	Disk          DeviceSpec
-	MEMS          DeviceSpec
+	Tier          DeviceSpec  // middle-tier device (the paper's MEMS)
 	K             int         // devices in the bank
-	SizePerDevice units.Bytes // Size_mems, capacity of one device
+	SizePerDevice units.Bytes // Size_tier, capacity of one device
 }
 
 // Validate checks the configuration.
@@ -137,7 +138,7 @@ func (c BufferConfig) Validate() error {
 	if err := c.Disk.Validate(); err != nil {
 		return err
 	}
-	if err := c.MEMS.Validate(); err != nil {
+	if err := c.Tier.Validate(); err != nil {
 		return err
 	}
 	if c.K <= 0 {
@@ -179,7 +180,7 @@ func BufferPlan(cfg BufferConfig) (BufferedPlan, error) {
 	n := float64(cfg.Load.N)
 	k := float64(cfg.K)
 	b := float64(cfg.Load.BitRate)
-	rm := float64(cfg.MEMS.Rate)
+	rm := float64(cfg.Tier.Rate)
 
 	// Bandwidth feasibility at the MEMS bank: it moves every byte twice
 	// (disk-side write + DRAM-side read), with up to ⌈N/k⌉-imbalance
@@ -190,7 +191,7 @@ func BufferPlan(cfg BufferConfig) (BufferedPlan, error) {
 			"%w: MEMS bank bandwidth %v cannot sustain 2×(N+k−1)×B̄ = %v",
 			ErrInfeasible, units.ByteRate(k*rm), units.ByteRate(2*(n+k-1)*b))
 	}
-	c := n * cfg.MEMS.Latency.Seconds() * rm / denom
+	c := n * cfg.Tier.Latency.Seconds() * rm / denom
 
 	// Eq 6: the disk itself must sustain N streams.
 	tMin, _, err := cycleAndBuffer(n, cfg.Load.BitRate, cfg.Disk)

@@ -146,7 +146,7 @@ func TestBufferPlanReducesDRAMByOrderOfMagnitude(t *testing.T) {
 			t.Fatal(err)
 		}
 		cfg := BufferConfig{
-			Load: load, Disk: futureDiskSpec(), MEMS: g3Spec(),
+			Load: load, Disk: futureDiskSpec(), Tier: g3Spec(),
 			K: 2, SizePerDevice: 10 * units.GB,
 		}
 		k, buffered, err := MinFeasibleK(cfg, 2, 64)
@@ -165,7 +165,7 @@ func TestBufferPlanHandChecked(t *testing.T) {
 	cfg := BufferConfig{
 		Load:          StreamLoad{N: 10, BitRate: 1 * units.MBPS},
 		Disk:          futureDiskSpec(),
-		MEMS:          g3Spec(),
+		Tier:          g3Spec(),
 		K:             2,
 		SizePerDevice: 10 * units.GB,
 	}
@@ -200,7 +200,7 @@ func TestBufferPlanHandChecked(t *testing.T) {
 func TestBufferPlanSingleStreamDegenerate(t *testing.T) {
 	cfg := BufferConfig{
 		Load: StreamLoad{N: 1, BitRate: 1 * units.MBPS},
-		Disk: futureDiskSpec(), MEMS: g3Spec(), K: 2, SizePerDevice: 10 * units.GB,
+		Disk: futureDiskSpec(), Tier: g3Spec(), K: 2, SizePerDevice: 10 * units.GB,
 	}
 	plan, err := BufferPlan(cfg)
 	if err != nil {
@@ -216,7 +216,7 @@ func TestBufferPlanInfeasibleBandwidth(t *testing.T) {
 	// disk: it would need 2x the disk's streaming bandwidth (paper §3.1).
 	cfg := BufferConfig{
 		Load: StreamLoad{N: 250, BitRate: 1 * units.MBPS}, // 250MB/s of streams
-		Disk: futureDiskSpec(), MEMS: g3Spec(), K: 1, SizePerDevice: 10 * units.GB,
+		Disk: futureDiskSpec(), Tier: g3Spec(), K: 1, SizePerDevice: 10 * units.GB,
 	}
 	_, err := BufferPlan(cfg)
 	if !errors.Is(err, ErrInfeasible) {
@@ -233,7 +233,7 @@ func TestBufferPlanCapacityBound(t *testing.T) {
 	// Shrink the devices until Eq 7 fails.
 	cfg := BufferConfig{
 		Load: StreamLoad{N: 1000, BitRate: 1 * units.MBPS},
-		Disk: futureDiskSpec(), MEMS: g3Spec(), K: 2, SizePerDevice: 10 * units.MB,
+		Disk: futureDiskSpec(), Tier: g3Spec(), K: 2, SizePerDevice: 10 * units.MB,
 	}
 	_, err := BufferPlan(cfg)
 	if !errors.Is(err, ErrInfeasible) {
@@ -244,7 +244,7 @@ func TestBufferPlanCapacityBound(t *testing.T) {
 func TestMinFeasibleK(t *testing.T) {
 	cfg := BufferConfig{
 		Load: StreamLoad{N: 250, BitRate: 1 * units.MBPS},
-		Disk: futureDiskSpec(), MEMS: g3Spec(), SizePerDevice: 10 * units.GB,
+		Disk: futureDiskSpec(), Tier: g3Spec(), SizePerDevice: 10 * units.GB,
 	}
 	k, _, err := MinFeasibleK(cfg, 2, 64)
 	if err != nil {
@@ -278,7 +278,7 @@ func TestCorollary2Property(t *testing.T) {
 		n := (int(nn)+10)*100*k + k // N divisible by k, large
 		cfg := BufferConfig{
 			Load: StreamLoad{N: n, BitRate: 10 * units.KBPS},
-			Disk: futureDiskSpec(), MEMS: g3Spec(), K: k,
+			Disk: futureDiskSpec(), Tier: g3Spec(), K: k,
 			SizePerDevice: 10 * units.GB,
 		}
 		plan, err := BufferPlan(cfg)
@@ -288,7 +288,7 @@ func TestCorollary2Property(t *testing.T) {
 		eq := EffectiveBankSpec(g3Spec(), k, Replicated) // kR, L/k
 		cfgEq := cfg
 		cfgEq.K = 1
-		cfgEq.MEMS = eq
+		cfgEq.Tier = eq
 		cfgEq.SizePerDevice = cfg.SizePerDevice.Mul(float64(k))
 		planEq, err := BufferPlan(cfgEq)
 		if err != nil {
@@ -332,7 +332,7 @@ func TestBufferedBeatsDirectProperty(t *testing.T) {
 		if err != nil {
 			return true
 		}
-		cfg := BufferConfig{Load: load, Disk: futureDiskSpec(), MEMS: g3Spec(),
+		cfg := BufferConfig{Load: load, Disk: futureDiskSpec(), Tier: g3Spec(),
 			SizePerDevice: 10 * units.GB}
 		_, plan, err := MinFeasibleK(cfg, 2, 64)
 		if err != nil {
@@ -372,7 +372,7 @@ func TestMaxStreamsDirectInfeasible(t *testing.T) {
 func TestMaxStreamsBuffered(t *testing.T) {
 	cfg := BufferConfig{
 		Load: StreamLoad{BitRate: 100 * units.KBPS},
-		Disk: futureDiskSpec(), MEMS: g3Spec(), K: 2, SizePerDevice: 10 * units.GB,
+		Disk: futureDiskSpec(), Tier: g3Spec(), K: 2, SizePerDevice: 10 * units.GB,
 	}
 	n := MaxStreamsBuffered(cfg, 1*units.GB)
 	if n <= 0 {
@@ -394,7 +394,7 @@ func TestStreamLoadAggregate(t *testing.T) {
 func TestBufferConfigValidate(t *testing.T) {
 	good := BufferConfig{
 		Load: StreamLoad{N: 10, BitRate: units.MBPS},
-		Disk: futureDiskSpec(), MEMS: g3Spec(), K: 2, SizePerDevice: 10 * units.GB,
+		Disk: futureDiskSpec(), Tier: g3Spec(), K: 2, SizePerDevice: 10 * units.GB,
 	}
 	if err := good.Validate(); err != nil {
 		t.Fatal(err)
@@ -402,7 +402,7 @@ func TestBufferConfigValidate(t *testing.T) {
 	mutations := []func(*BufferConfig){
 		func(c *BufferConfig) { c.Load.N = 0 },
 		func(c *BufferConfig) { c.Disk.Rate = 0 },
-		func(c *BufferConfig) { c.MEMS.Rate = 0 },
+		func(c *BufferConfig) { c.Tier.Rate = 0 },
 		func(c *BufferConfig) { c.K = 0 },
 		func(c *BufferConfig) { c.SizePerDevice = 0 },
 	}
@@ -430,12 +430,12 @@ func TestCostFunctionsRejectBadInputs(t *testing.T) {
 	if _, err := CostWithoutMEMS(load, futureDiskSpec(), bad); err == nil {
 		t.Error("bad costs accepted by CostWithoutMEMS")
 	}
-	cfg := BufferConfig{Load: load, Disk: futureDiskSpec(), MEMS: g3Spec(),
+	cfg := BufferConfig{Load: load, Disk: futureDiskSpec(), Tier: g3Spec(),
 		K: 2, SizePerDevice: 10 * units.GB}
 	if _, err := CostWithBuffer(cfg, bad); err == nil {
 		t.Error("bad costs accepted by CostWithBuffer")
 	}
-	ccfg := CacheConfig{Load: load, Disk: futureDiskSpec(), MEMS: g3Spec(),
+	ccfg := CacheConfig{Load: load, Disk: futureDiskSpec(), Tier: g3Spec(),
 		K: 1, Policy: Striped, SizePerDevice: 10 * units.GB,
 		ContentSize: units.TB, X: 10, Y: 90}
 	if _, err := CostWithCache(ccfg, bad); err == nil {
@@ -451,7 +451,7 @@ func TestCostFunctionsRejectBadInputs(t *testing.T) {
 func TestCacheConfigValidate(t *testing.T) {
 	good := CacheConfig{
 		Load: StreamLoad{N: 10, BitRate: units.MBPS},
-		Disk: futureDiskSpec(), MEMS: g3Spec(),
+		Disk: futureDiskSpec(), Tier: g3Spec(),
 		K: 1, Policy: Striped,
 		SizePerDevice: 10 * units.GB, ContentSize: units.TB,
 		X: 10, Y: 90,
@@ -462,7 +462,7 @@ func TestCacheConfigValidate(t *testing.T) {
 	mutations := []func(*CacheConfig){
 		func(c *CacheConfig) { c.Load.BitRate = 0 },
 		func(c *CacheConfig) { c.Disk.Latency = -time.Second },
-		func(c *CacheConfig) { c.MEMS.Rate = -1 },
+		func(c *CacheConfig) { c.Tier.Rate = -1 },
 		func(c *CacheConfig) { c.K = -1 },
 		func(c *CacheConfig) { c.SizePerDevice = 0 },
 		func(c *CacheConfig) { c.ContentSize = 0 },
@@ -489,7 +489,7 @@ func TestCapDiskCycle(t *testing.T) {
 	cfg := BufferConfig{
 		Load:          StreamLoad{N: 10, BitRate: 1 * units.MBPS},
 		Disk:          futureDiskSpec(),
-		MEMS:          g3Spec(),
+		Tier:          g3Spec(),
 		K:             2,
 		SizePerDevice: 10 * units.GB,
 	}

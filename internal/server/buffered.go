@@ -27,9 +27,9 @@ func runBuffered(cfg Config) (Result, error) {
 	bcfg := model.BufferConfig{
 		Load:          model.StreamLoad{N: cfg.N, BitRate: cfg.BitRate},
 		Disk:          diskSpec(r.dsk),
-		MEMS:          memsSpec(cfg.MEMS),
+		Tier:          tierSpec(cfg.Tier),
 		K:             cfg.K,
-		SizePerDevice: cfg.MEMS.Capacity,
+		SizePerDevice: cfg.Tier.Capacity,
 	}
 	plan, err := model.BufferPlan(bcfg)
 	if err != nil {
@@ -42,7 +42,7 @@ func runBuffered(cfg Config) (Result, error) {
 	plan.CapDiskCycle(20*time.Second, bcfg.Load)
 	tDisk := plan.DiskCycle
 
-	devs, err := bank.New(cfg.K, cfg.MEMS)
+	devs, err := bank.New(cfg.K, cfg.Tier)
 	if err != nil {
 		return Result{}, err
 	}
@@ -50,7 +50,7 @@ func runBuffered(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	r.trackMEMS(devs...)
+	r.trackTier(devs...)
 
 	tMems := plan.MEMSCycle
 	// Playback lags the pipeline by four MEMS cycles: intra-cycle

@@ -21,7 +21,7 @@ func runCached(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	devs, err := bank.New(cfg.K, cfg.MEMS)
+	devs, err := bank.New(cfg.K, cfg.Tier)
 	if err != nil {
 		return Result{}, err
 	}
@@ -34,7 +34,7 @@ func runCached(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	r.trackMEMS(devs...)
+	r.trackTier(devs...)
 	placement, err := cache.Plan(r.cat, cb.Capacity())
 	if err != nil {
 		return Result{}, err
@@ -54,9 +54,9 @@ func runCached(cfg Config) (Result, error) {
 	var cachePlan, diskPlan model.DirectPlan
 	if len(cachedIDs) > 0 {
 		if cfg.CachePolicy == model.Striped {
-			cachePlan, err = model.StripedCache(len(cachedIDs), cfg.K, cfg.BitRate, memsSpec(cfg.MEMS))
+			cachePlan, err = model.StripedCache(len(cachedIDs), cfg.K, cfg.BitRate, tierSpec(cfg.Tier))
 		} else {
-			cachePlan, err = model.ReplicatedCache(len(cachedIDs), cfg.K, cfg.BitRate, memsSpec(cfg.MEMS))
+			cachePlan, err = model.ReplicatedCache(len(cachedIDs), cfg.K, cfg.BitRate, tierSpec(cfg.Tier))
 		}
 		if err != nil {
 			return Result{}, err

@@ -27,11 +27,11 @@ func runHybrid(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	cacheDevs, err := bank.New(cfg.CacheDevices, cfg.MEMS)
+	cacheDevs, err := bank.New(cfg.CacheDevices, cfg.Tier)
 	if err != nil {
 		return Result{}, err
 	}
-	bufDevs, err := bank.New(cfg.K-cfg.CacheDevices, cfg.MEMS)
+	bufDevs, err := bank.New(cfg.K-cfg.CacheDevices, cfg.Tier)
 	if err != nil {
 		return Result{}, err
 	}
@@ -39,8 +39,8 @@ func runHybrid(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	r.trackMEMS(cacheDevs...)
-	r.trackMEMS(bufDevs...)
+	r.trackTier(cacheDevs...)
+	r.trackTier(bufDevs...)
 	placement, err := cache.Plan(r.cat, cb.Capacity())
 	if err != nil {
 		return Result{}, err
@@ -62,7 +62,7 @@ func runHybrid(cfg Config) (Result, error) {
 	var cachePlan model.DirectPlan
 	if len(cachedIDs) > 0 {
 		cachePlan, err = model.StripedCache(len(cachedIDs), cfg.CacheDevices,
-			cfg.BitRate, memsSpec(cfg.MEMS))
+			cfg.BitRate, tierSpec(cfg.Tier))
 		if err != nil {
 			return Result{}, err
 		}
@@ -73,9 +73,9 @@ func runHybrid(cfg Config) (Result, error) {
 	bufPlan, err := model.BufferPlan(model.BufferConfig{
 		Load:          missLoad,
 		Disk:          diskSpec(r.dsk),
-		MEMS:          memsSpec(cfg.MEMS),
+		Tier:          tierSpec(cfg.Tier),
 		K:             cfg.K - cfg.CacheDevices,
-		SizePerDevice: cfg.MEMS.Capacity,
+		SizePerDevice: cfg.Tier.Capacity,
 	})
 	if err != nil {
 		return Result{}, err

@@ -7,9 +7,9 @@ import (
 
 	"memstream/internal/disk"
 	"memstream/internal/dram"
-	"memstream/internal/mems"
 	"memstream/internal/ring"
 	"memstream/internal/sim"
+	"memstream/internal/tier"
 	"memstream/internal/units"
 	"memstream/internal/workload"
 )
@@ -38,9 +38,9 @@ type rig struct {
 	players []*player
 	margins *sim.Reservoir
 
-	// memsDevs are the bank devices registered for Result accounting
+	// tierDevs are the bank devices registered for Result accounting
 	// (busy time, IO counts, utilization over cfg.K).
-	memsDevs []*mems.Device
+	tierDevs []tier.Device
 
 	// probe, when attached (Config.Trace), records the per-cycle time
 	// series surfaced as Result.Trace. Sampling piggybacks on the cycle
@@ -229,9 +229,11 @@ func (r *rig) finish(end time.Duration) {
 	r.eng.Run()
 }
 
-// trackMEMS registers bank devices for the Result's MEMS accounting.
-func (r *rig) trackMEMS(devs ...*mems.Device) {
-	r.memsDevs = append(r.memsDevs, devs...)
+// trackTier registers bank devices for the Result's middle-tier
+// accounting (the MEMS-named Result fields, kept for artifact
+// stability).
+func (r *rig) trackTier(devs ...tier.Device) {
+	r.tierDevs = append(r.tierDevs, devs...)
 }
 
 // noteCacheFill accounts one DRAM fill served from the cache bank — the
@@ -259,11 +261,11 @@ func (r *rig) result(mode Mode, end time.Duration, cycles int64) Result {
 		DiskIOs:       r.dsk.Served(),
 	}
 	var memsBusy time.Duration
-	for _, d := range r.memsDevs {
+	for _, d := range r.tierDevs {
 		memsBusy += d.BusyTime()
 		res.MEMSIOs += d.Served()
 	}
-	if len(r.memsDevs) > 0 {
+	if len(r.tierDevs) > 0 {
 		res.MEMSBusy = memsBusy
 		res.MEMSUtil = float64(memsBusy) / (float64(end) * float64(r.cfg.K))
 	}

@@ -21,8 +21,8 @@ import (
 	"time"
 
 	"memstream/internal/disk"
-	"memstream/internal/mems"
 	"memstream/internal/model"
+	"memstream/internal/tier"
 	"memstream/internal/units"
 	"memstream/internal/workload"
 )
@@ -64,8 +64,8 @@ type Config struct {
 	Mode Mode
 
 	Disk disk.Params
-	MEMS mems.Params
-	K    int // MEMS devices (Buffered/Cached/Hybrid)
+	Tier tier.Spec // middle-tier parameter set (the paper's MEMS)
+	K    int       // middle-tier devices (Buffered/Cached/Hybrid)
 	// CacheDevices is the cache share of the bank in Hybrid mode
 	// (0 < CacheDevices < K).
 	CacheDevices int
@@ -248,10 +248,10 @@ func diskSpec(d *disk.Device) model.DeviceSpec {
 	return model.DeviceSpec{Rate: d.EffectiveRate(), Latency: d.Params().AvgAccess()}
 }
 
-// memsSpec derives the model-facing spec; the paper always charges MEMS
-// the maximum positioning latency.
-func memsSpec(p mems.Params) model.DeviceSpec {
-	return model.DeviceSpec{Rate: p.Rate, Latency: p.MaxLatency()}
+// tierSpec derives the model-facing spec; the paper always charges the
+// middle tier the maximum positioning latency (its §5).
+func tierSpec(s tier.Spec) model.DeviceSpec {
+	return model.DeviceSpec{Rate: s.Rate, Latency: s.MaxLatency}
 }
 
 // mediaClass builds a media class for the configured bit-rate. Feature-

@@ -5,9 +5,9 @@ import (
 	"time"
 
 	"memstream/internal/disk"
-	"memstream/internal/mems"
 	"memstream/internal/model"
 	"memstream/internal/sim"
+	"memstream/internal/tier"
 	"memstream/internal/units"
 )
 
@@ -15,7 +15,7 @@ func baseConfig(mode Mode, n int, br units.ByteRate) Config {
 	return Config{
 		Mode:    mode,
 		Disk:    disk.FutureDisk(),
-		MEMS:    mems.G3(),
+		Tier:    tier.MustLookup("mems-g3"),
 		K:       2,
 		N:       n,
 		BitRate: br,

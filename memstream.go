@@ -22,8 +22,8 @@ import (
 	"time"
 
 	"memstream/internal/disk"
-	"memstream/internal/mems"
 	"memstream/internal/model"
+	"memstream/internal/tier"
 	"memstream/internal/units"
 )
 
@@ -51,13 +51,27 @@ func FutureDisk() StorageDevice { return fromDisk(disk.FutureDisk()) }
 func Atlas10K3() StorageDevice { return fromDisk(disk.Atlas10K3()) }
 
 // G3MEMS returns the third-generation CMU MEMS device (Table 3).
-func G3MEMS() StorageDevice { return fromMEMS(mems.G3()) }
+func G3MEMS() StorageDevice { return fromTier(tier.MustLookup("mems-g3")) }
 
 // G2MEMS returns the interpolated second-generation MEMS device.
-func G2MEMS() StorageDevice { return fromMEMS(mems.G2()) }
+func G2MEMS() StorageDevice { return fromTier(tier.MustLookup("mems-g2")) }
 
 // G1MEMS returns the interpolated first-generation MEMS device.
-func G1MEMS() StorageDevice { return fromMEMS(mems.G1()) }
+func G1MEMS() StorageDevice { return fromTier(tier.MustLookup("mems-g1")) }
+
+// Tier returns a built-in middle-tier parameter set by registry name
+// (e.g. "mems-g3", "nvm-optane", "ssd-sata"); unknown names error with
+// the available sets.
+func Tier(name string) (StorageDevice, error) {
+	s, err := tier.Lookup(name)
+	if err != nil {
+		return StorageDevice{}, err
+	}
+	return fromTier(s), nil
+}
+
+// TierNames lists the built-in middle-tier parameter sets.
+func TierNames() []string { return tier.Names() }
 
 func fromDisk(p disk.Params) StorageDevice {
 	return StorageDevice{
@@ -71,15 +85,19 @@ func fromDisk(p disk.Params) StorageDevice {
 	}
 }
 
-func fromMEMS(p mems.Params) StorageDevice {
+func fromTier(s tier.Spec) StorageDevice {
+	name := s.Name
+	if s.MEMS != nil {
+		name = s.MEMS.Name // keep the published device names, e.g. "G3 MEMS"
+	}
 	return StorageDevice{
-		Name:            p.Name,
-		RateBytesPerSec: float64(p.Rate),
-		AvgLatency:      p.AvgLatency(),
-		MaxLatency:      p.MaxLatency(),
-		CapacityBytes:   float64(p.Capacity),
-		CostPerGB:       float64(p.CostPerGB),
-		CostPerDevice:   float64(p.CostPerDev),
+		Name:            name,
+		RateBytesPerSec: float64(s.Rate),
+		AvgLatency:      s.AvgLatency,
+		MaxLatency:      s.MaxLatency,
+		CapacityBytes:   float64(s.Capacity),
+		CostPerGB:       float64(s.CostPerGB),
+		CostPerDevice:   float64(s.CostPerDev),
 	}
 }
 
@@ -154,7 +172,7 @@ func PlanMEMSBuffer(load Load, dsk, mem StorageDevice, k int) (BufferPlan, error
 	cfg := model.BufferConfig{
 		Load:          load.toModel(),
 		Disk:          dsk.diskSpec(),
-		MEMS:          mem.memsSpec(),
+		Tier:          mem.memsSpec(),
 		K:             k,
 		SizePerDevice: units.Bytes(mem.CapacityBytes),
 	}
@@ -208,7 +226,7 @@ func PlanMEMSCache(load Load, dsk, mem StorageDevice, k int, policy CachePolicy,
 	cfg := model.CacheConfig{
 		Load:          load.toModel(),
 		Disk:          dsk.diskSpec(),
-		MEMS:          mem.memsSpec(),
+		Tier:          mem.memsSpec(),
 		K:             k,
 		Policy:        policy,
 		SizePerDevice: units.Bytes(mem.CapacityBytes),
@@ -250,7 +268,7 @@ func MaxStreamsWithCache(bitRate float64, dsk, mem StorageDevice, k int,
 	cfg := model.CacheConfig{
 		Load:          model.StreamLoad{N: 1, BitRate: units.ByteRate(bitRate)},
 		Disk:          dsk.diskSpec(),
-		MEMS:          mem.memsSpec(),
+		Tier:          mem.memsSpec(),
 		K:             k,
 		Policy:        policy,
 		SizePerDevice: units.Bytes(mem.CapacityBytes),
@@ -275,11 +293,11 @@ func DefaultCosts() Costs {
 }
 
 func (c Costs) toModel() model.CostModel {
-	return model.CostModel{
-		DRAMPerGB: units.Dollars(c.DRAMPerGB),
-		MEMSPerGB: units.Dollars(c.MEMSPerGB),
-		MEMSSize:  units.Bytes(c.MEMSDeviceGB * 1e9),
-	}
+	return model.NewCostModel(
+		units.Dollars(c.DRAMPerGB),
+		units.Dollars(c.MEMSPerGB),
+		units.Bytes(c.MEMSDeviceGB*1e9),
+	)
 }
 
 // BufferingCost prices a direct server's DRAM (Eq 1) in dollars.
@@ -293,7 +311,7 @@ func BufferedCost(load Load, dsk, mem StorageDevice, k int, costs Costs) (float6
 	cfg := model.BufferConfig{
 		Load:          load.toModel(),
 		Disk:          dsk.diskSpec(),
-		MEMS:          mem.memsSpec(),
+		Tier:          mem.memsSpec(),
 		K:             k,
 		SizePerDevice: units.Bytes(mem.CapacityBytes),
 	}

@@ -6,8 +6,8 @@ import (
 
 	"memstream/internal/disk"
 	"memstream/internal/experiments"
-	"memstream/internal/mems"
 	"memstream/internal/server"
+	"memstream/internal/tier"
 	"memstream/internal/units"
 )
 
@@ -51,6 +51,10 @@ type SimConfig struct {
 	Streams      int
 	BitRate      float64 // bytes per second
 	MEMSDevices  int
+	// Tier selects the middle-tier parameter set by registry name
+	// ("mems-g1".."mems-g3", "nvm-optane", "ssd-sata", "disk-future");
+	// empty selects the paper's G3 MEMS.
+	Tier string
 	// CacheDevices is the cache share of the bank for HybridServer
 	// (defaults to MEMSDevices/2).
 	CacheDevices int
@@ -131,6 +135,14 @@ func Simulate(cfg SimConfig) (SimResult, error) {
 	if k == 0 {
 		k = 2
 	}
+	tierName := cfg.Tier
+	if tierName == "" {
+		tierName = tier.Default
+	}
+	spec, err := tier.Lookup(tierName)
+	if err != nil {
+		return SimResult{}, err
+	}
 	cacheDevs := cfg.CacheDevices
 	if mode == server.Hybrid && cacheDevs == 0 {
 		cacheDevs = k / 2
@@ -138,7 +150,7 @@ func Simulate(cfg SimConfig) (SimResult, error) {
 	scfg := server.Config{
 		Mode:           mode,
 		Disk:           disk.FutureDisk(),
-		MEMS:           mems.G3(),
+		Tier:           spec,
 		K:              k,
 		CacheDevices:   cacheDevs,
 		CachePolicy:    cfg.CachePolicy,
