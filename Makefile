@@ -25,11 +25,12 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # bench-sim runs the hot-path microbenchmarks — the simulation kernel,
-# the lock-free metrics collector, the timer wheel, and the serve data
-# plane — the set CI compares old-vs-new with benchstat. BENCH_COUNT>1
-# gives benchstat samples to work with.
+# the lock-free metrics collector, the timer wheel, the serve data
+# plane, the rig's cycle walk, and the popularity sampler — the set CI
+# compares old-vs-new with benchstat. BENCH_COUNT>1 gives benchstat
+# samples to work with.
 bench-sim:
-	$(GO) test -run '^$$' -bench . -benchmem -count $(or $(BENCH_COUNT),1) ./internal/sim/ ./internal/metrics/ ./internal/wheel/ ./internal/serve/
+	$(GO) test -run '^$$' -bench . -benchmem -count $(or $(BENCH_COUNT),1) ./internal/sim/ ./internal/metrics/ ./internal/wheel/ ./internal/serve/ ./internal/server/ ./internal/workload/
 
 # bench-record appends one BENCH_<n>.json point to the kernel performance
 # trajectory (microbenchmarks + per-experiment events/sec).
@@ -45,6 +46,16 @@ profile:
 	$(GO) run ./cmd/memsbench -run 'validate|dynamics|occupancy' \
 		-cpuprofile profiles/cpu.pprof -memprofile profiles/mem.pprof -out profiles
 	@echo "profiles: profiles/cpu.pprof profiles/mem.pprof"
+
+# profile-scale profiles the sharded scaling scenario — the per-partition
+# steady-state hot path (SoA cycle walk, pooled C-LOOK dispatch, event
+# kernel) that dominates million-stream runs. Reading workflow in
+# EXPERIMENTS.md ("Profiling the scaling hot path").
+profile-scale:
+	mkdir -p profiles
+	$(GO) run ./cmd/memsbench -run shardscale -shards 1 \
+		-cpuprofile profiles/scale-cpu.pprof -memprofile profiles/scale-mem.pprof -out profiles
+	@echo "profiles: profiles/scale-cpu.pprof profiles/scale-mem.pprof"
 
 # repro writes every table/figure to results/ as text artifacts.
 repro:

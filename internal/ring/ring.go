@@ -42,6 +42,13 @@ func (r *Ring[T]) PopFront() T {
 	return v
 }
 
+// Reset empties the ring, keeping the backing array. Element slots are
+// cleared so a pooled ring does not pin references from its previous life.
+func (r *Ring[T]) Reset() {
+	clear(r.buf)
+	r.head, r.n = 0, 0
+}
+
 // At returns the i-th element in queue order (0 is the head).
 func (r *Ring[T]) At(i int) T {
 	if i < 0 || i >= r.n {

@@ -1,0 +1,76 @@
+package server
+
+import (
+	"testing"
+
+	"memstream/internal/disk"
+	"memstream/internal/tier"
+	"memstream/internal/units"
+)
+
+// newCycleWalk assembles a direct-mode run sized for n streams and warms
+// its steady state: enough cycles that every pooled structure (engine
+// slots, chain rings, scheduler arrays, the margins reservoir) has grown
+// to its standing footprint. What remains is the pure per-cycle walk —
+// the code the cycleLoop events execute in a real run — which the
+// benchmarks time and the zero-alloc gate pins.
+//
+// The bit-rate keeps n·B̄ inside FutureDisk's effective-rate envelope
+// (Theorem 1 feasibility) at both benchmark populations.
+func newCycleWalk(tb testing.TB, n int, br units.ByteRate) *directRun {
+	tb.Helper()
+	cfg := Config{
+		Mode:    Direct,
+		Disk:    disk.FutureDisk(),
+		Tier:    tier.MustLookup("mems-g3"),
+		N:       n,
+		BitRate: br,
+		Titles:  50,
+		X:       10, Y: 90,
+		Seed: 1,
+	}
+	if err := validate(&cfg); err != nil {
+		tb.Fatal(err)
+	}
+	d, err := newDirect(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for c := int64(0); c < 16; c++ {
+		d.stage(c)
+		d.r.eng.Run()
+	}
+	return d
+}
+
+func benchmarkCycleWalk(b *testing.B, n int, br units.ByteRate) {
+	d := newCycleWalk(b, n, br)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.stage(int64(i))
+		d.r.eng.Run()
+	}
+}
+
+// BenchmarkCycleWalk measures one steady-state scheduling cycle of the
+// direct architecture — the SoA player walk, the batch C-LOOK build and
+// dispatch, and the per-stream drain/fill — at two populations.
+func BenchmarkCycleWalk1k(b *testing.B)  { benchmarkCycleWalk(b, 1_000, 100*units.KBPS) }
+func BenchmarkCycleWalk64k(b *testing.B) { benchmarkCycleWalk(b, 65_536, 3*units.KBPS) }
+
+// The hard hot-path budget: once warm, a scheduling cycle allocates
+// nothing — the SoA walk, pooled schedulers, chain rings and engine
+// slots all reuse their storage. This is a test (not just a benchmark)
+// so `go test` itself gates the invariant in CI.
+func TestCycleWalkZeroAllocs(t *testing.T) {
+	d := newCycleWalk(t, 1_000, 100*units.KBPS)
+	c := int64(16)
+	if n := testing.AllocsPerRun(50, func() {
+		d.stage(c)
+		d.r.eng.Run()
+		c++
+	}); n != 0 {
+		t.Errorf("steady-state cycle walk allocates %v per cycle, want 0", n)
+	}
+}

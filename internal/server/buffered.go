@@ -6,7 +6,6 @@ import (
 
 	"memstream/internal/bank"
 	"memstream/internal/device"
-	"memstream/internal/disk"
 	"memstream/internal/model"
 	"memstream/internal/sim"
 	"memstream/internal/units"
@@ -59,6 +58,8 @@ func runBuffered(cfg Config) (Result, error) {
 	// so four cycles of standing headroom keep every fill ahead of its
 	// deadline.
 	playStart := tDisk + 4*tMems
+	blockSize := r.dsk.Geometry().BlockSize
+	memsBlock := devs[0].Geometry().BlockSize
 	diskBlocks := r.dsk.Geometry().Blocks
 	isWriter := func(i int) bool { return i < cfg.Writers }
 	for i, st := range r.set.Streams {
@@ -66,9 +67,7 @@ func runBuffered(cfg Config) (Result, error) {
 		if isWriter(i) {
 			start = sim.MaxTime / 2 // recorders never drain (no playback)
 		}
-		if _, err := r.addPlayer(i, r.diskPos(st), start); err != nil {
-			return Result{}, err
-		}
+		r.addPlayer(i, r.diskPos(st), start)
 		if _, err := bb.Attach(i); err != nil {
 			return Result{}, err
 		}
@@ -93,7 +92,7 @@ func runBuffered(cfg Config) (Result, error) {
 
 	diskCycles, end, _ := r.horizon(tDisk, 4, 3)
 
-	diskIOBlocks := blocksFor(plan.DiskIOSize, r.dsk.Geometry().BlockSize)
+	diskIOBlocks := blocksFor(plan.DiskIOSize, blockSize)
 	memsChains := make([]*chain, cfg.K)
 	for i := range memsChains {
 		memsChains[i] = r.newChain()
@@ -104,18 +103,72 @@ func runBuffered(cfg Config) (Result, error) {
 		r.observe(fmt.Sprintf("mems%d", i), d, memsChains[i])
 	}
 
+	// Chain-item handlers, one closure per item shape per run. bankIO is
+	// the plain bank transfer (a staged write after a disk read, or a
+	// recorder's write-back read feeding the in-flight disk write): it
+	// only occupies the device.
+	bankIO := func(it *chainItem, ws time.Duration) time.Duration {
+		wc, err := bb.Device(int(it.dev)).Service(ws, it.req)
+		if err != nil {
+			return ws
+		}
+		return wc.Finish
+	}
+	// writerAppend lands one MEMS-cycle's recorder production in the slot
+	// being assembled and tracks the writer's standing DRAM.
+	writerAppend := func(it *chainItem, ws time.Duration) time.Duration {
+		wc, err := bb.Device(int(it.dev)).Service(ws, it.req)
+		if err != nil {
+			return ws
+		}
+		writerNote(int(it.stream), wc.Finish)
+		writerStaged[it.stream] += units.Bytes(wc.Blocks) * memsBlock
+		return wc.Finish
+	}
+	// readerDrain moves one MEMS-cycle's piece of a staged slot into the
+	// stream's DRAM buffer.
+	readerDrain := func(it *chainItem, rs time.Duration) time.Duration {
+		rc, err := bb.Device(int(it.dev)).Service(rs, it.req)
+		if err != nil {
+			return rs
+		}
+		i := int(it.stream)
+		r.drainTo(i, rc.Finish)
+		r.fill(i, units.Bytes(rc.Blocks)*memsBlock)
+		return rc.Finish
+	}
+	// diskDispatch services one slot of a disk cycle's C-LOOK batch and,
+	// for readers, stages the read bytes on the stream's MEMS device.
+	diskDispatch := func(it *chainItem, start time.Duration) time.Duration {
+		comp, ok, err := it.sched.Dispatch(start)
+		r.putSched(it.sched)
+		if err != nil || !ok {
+			return start
+		}
+		stream := comp.Stream
+		if isWriter(stream) {
+			return comp.Finish // data already left the bank
+		}
+		wreq, dev, err := bb.StageRequest(stream, it.cycle, units.Bytes(comp.Blocks)*blockSize)
+		if err != nil {
+			return comp.Finish
+		}
+		memsChains[dev].submit(chainItem{fn: bankIO, req: wreq, dev: int32(dev)})
+		return comp.Finish
+	}
+
 	// Disk side. Each disk cycle: readers get one large disk read that is
 	// then staged on their MEMS device; writers get the reverse — the bank
 	// reads back the slot their recorder assembled last cycle, and one
 	// large disk write ships it to the platter.
 	scheduleDiskCycle := func(c int64) {
-		sched := disk.NewScheduler(r.dsk, disk.CLook)
-		for i := range r.players {
+		sched := r.getSched()
+		ps := &r.ar.ps
+		for i := 0; i < r.n; i++ {
 			if isWriter(i) && c == 0 {
 				continue // nothing assembled yet
 			}
-			p := r.players[i]
-			blk := p.pos
+			blk := ps.pos[i]
 			if blk+diskIOBlocks > diskBlocks {
 				blk = 0
 			}
@@ -130,33 +183,15 @@ func runBuffered(cfg Config) (Result, error) {
 				Op: op, Block: blk, Blocks: diskIOBlocks,
 				Stream: i, Issued: r.eng.Now(),
 			})
-			p.pos = (blk + diskIOBlocks) % diskBlocks
+			ps.pos[i] = (blk + diskIOBlocks) % diskBlocks
 		}
-		for pending := sched.Len(); pending > 0; pending-- {
-			s := sched
-			diskChain.submit(func(start time.Duration) time.Duration {
-				comp, ok, err := s.Dispatch(start)
-				if err != nil || !ok {
-					return start
-				}
-				stream := comp.Stream
-				if isWriter(stream) {
-					return comp.Finish // data already left the bank
-				}
-				// Stage the read bytes on the stream's MEMS device.
-				wreq, dev, err := bb.StageRequest(stream, c, units.Bytes(comp.Blocks)*r.dsk.Geometry().BlockSize)
-				if err != nil {
-					return comp.Finish
-				}
-				memsChains[dev].submit(func(ws time.Duration) time.Duration {
-					wc, err := bb.Device(dev).Service(ws, wreq)
-					if err != nil {
-						return ws
-					}
-					return wc.Finish
-				})
-				return comp.Finish
-			})
+		pending := sched.Len()
+		if pending == 0 {
+			r.putSched(sched)
+			return
+		}
+		for ; pending > 0; pending-- {
+			diskChain.submit(chainItem{fn: diskDispatch, sched: sched, cycle: c})
 		}
 	}
 
@@ -164,7 +199,7 @@ func runBuffered(cfg Config) (Result, error) {
 	// of B̄·T_mems, progressing through the slot its previous disk cycle
 	// staged (DrainRequest(cycle) addresses the opposite-parity slot).
 	drainBytes := units.BytesIn(cfg.BitRate, tMems)
-	slotBlocks := blocksFor(plan.DiskIOSize, devs[0].Geometry().BlockSize)
+	slotBlocks := blocksFor(plan.DiskIOSize, memsBlock)
 	slotCycle := make([]int64, cfg.N)
 	slotOff := make([]int64, cfg.N)
 	// Writers additionally read back the previously assembled slot (the
@@ -179,34 +214,32 @@ func runBuffered(cfg Config) (Result, error) {
 	var bestEffortBytes units.Bytes
 	beRNG := r.rng.Split()
 	const bePerCycle = 4
-	beBlocks := blocksFor(256*units.KB, devs[0].Geometry().BlockSize)
+	beBlocks := blocksFor(256*units.KB, memsBlock)
+	bestEffort := func(it *chainItem, bs time.Duration) time.Duration {
+		if bs >= end {
+			return bs // past the horizon; don't skew utilization
+		}
+		bc, err := devs[it.dev].Service(bs, it.req)
+		if err != nil {
+			return bs
+		}
+		bestEffortBytes += units.Bytes(bc.Blocks) * memsBlock
+		return bc.Finish
+	}
 	scheduleBestEffort := func() {
 		for dev := 0; dev < cfg.K; dev++ {
-			dev := dev
 			for j := 0; j < bePerCycle; j++ {
 				lbn := int64(beRNG.Float64() * float64(devs[dev].Geometry().Blocks-beBlocks))
-				memsChains[dev].submitLow(func(bs time.Duration) time.Duration {
-					if bs >= end {
-						return bs // past the horizon; don't skew utilization
-					}
-					bc, err := devs[dev].Service(bs, device.Request{
-						Op: device.Read, Block: lbn, Blocks: beBlocks, Stream: -1,
-					})
-					if err != nil {
-						return bs
-					}
-					bestEffortBytes += units.Bytes(bc.Blocks) * devs[dev].Geometry().BlockSize
-					return bc.Finish
-				})
+				memsChains[dev].submitLow(chainItem{fn: bestEffort, dev: int32(dev), req: device.Request{
+					Op: device.Read, Block: lbn, Blocks: beBlocks, Stream: -1,
+				}})
 			}
 		}
 	}
 	scheduleMEMSCycle := func(int64) {
 		now := r.eng.Now()
 		diskCyc := int64(now / tDisk)
-		for i := range r.players {
-			i := i
-			p := r.players[i]
+		for i := 0; i < r.n; i++ {
 			if !isWriter(i) && diskCyc == 0 {
 				continue // nothing staged for readers yet
 			}
@@ -229,15 +262,7 @@ func runBuffered(cfg Config) (Result, error) {
 					wreq.Blocks = rem
 				}
 				slotOff[i] += wreq.Blocks
-				memsChains[dev].submit(func(ws time.Duration) time.Duration {
-					wc, err := bb.Device(dev).Service(ws, wreq)
-					if err != nil {
-						return ws
-					}
-					writerNote(i, wc.Finish)
-					writerStaged[i] += units.Bytes(wc.Blocks) * devs[0].Geometry().BlockSize
-					return wc.Finish
-				})
+				memsChains[dev].submit(chainItem{fn: writerAppend, req: wreq, dev: int32(dev), stream: int32(i)})
 				// ...and stream one piece of the previously assembled slot
 				// back out toward the in-flight disk write.
 				if diskCyc >= 1 {
@@ -253,13 +278,7 @@ func runBuffered(cfg Config) (Result, error) {
 								rreq.Blocks = rem
 							}
 							wbOff[i] += rreq.Blocks
-							memsChains[rdev].submit(func(rs time.Duration) time.Duration {
-								rc, err := bb.Device(rdev).Service(rs, rreq)
-								if err != nil {
-									return rs
-								}
-								return rc.Finish
-							})
+							memsChains[rdev].submit(chainItem{fn: bankIO, req: rreq, dev: int32(rdev)})
 						}
 					}
 				}
@@ -274,17 +293,7 @@ func runBuffered(cfg Config) (Result, error) {
 				rreq.Blocks = rem
 			}
 			slotOff[i] += rreq.Blocks
-			memsChains[dev].submit(func(rs time.Duration) time.Duration {
-				rc, err := bb.Device(dev).Service(rs, rreq)
-				if err != nil {
-					return rs
-				}
-				p.drainTo(rc.Finish)
-				if err := p.buf.Fill(units.Bytes(rc.Blocks) * devs[0].Geometry().BlockSize); err != nil {
-					panic(err)
-				}
-				return rc.Finish
-			})
+			memsChains[dev].submit(chainItem{fn: readerDrain, req: rreq, dev: int32(dev), stream: int32(i)})
 		}
 	}
 

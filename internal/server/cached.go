@@ -7,7 +7,6 @@ import (
 	"memstream/internal/bank"
 	"memstream/internal/cache"
 	"memstream/internal/device"
-	"memstream/internal/disk"
 	"memstream/internal/model"
 	"memstream/internal/units"
 )
@@ -80,9 +79,7 @@ func runCached(cfg Config) (Result, error) {
 			pos = int64(st.Offset/blockSize) % max(imageBlocks, 1)
 			startAt = cachePlan.Cycle
 		}
-		if _, err := r.addPlayer(i, pos, startAt); err != nil {
-			return Result{}, err
-		}
+		r.addPlayer(i, pos, startAt)
 		if placement.Contains(st.Title.ID) {
 			if err := cb.Assign(i); err != nil {
 				return Result{}, err
@@ -109,11 +106,22 @@ func runCached(cfg Config) (Result, error) {
 			diskCycles = 2
 		}
 		cycles = max(cycles, diskCycles)
+		dispatch := func(it *chainItem, start time.Duration) time.Duration {
+			comp, ok, err := it.sched.Dispatch(start)
+			r.putSched(it.sched)
+			if err != nil || !ok {
+				return start
+			}
+			i := comp.Stream
+			r.drainTo(i, comp.Finish)
+			r.fill(i, units.Bytes(comp.Blocks)*blockSize)
+			return comp.Finish
+		}
 		scheduleCycle := func(int64) {
-			sched := disk.NewScheduler(r.dsk, disk.CLook)
+			sched := r.getSched()
+			ps := &r.ar.ps
 			for _, i := range diskIDs {
-				p := r.players[i]
-				blk := p.pos
+				blk := ps.pos[i]
 				if blk+ioBlocks > diskBlocks {
 					blk = 0
 				}
@@ -121,22 +129,10 @@ func runCached(cfg Config) (Result, error) {
 					Op: device.Read, Block: blk, Blocks: ioBlocks,
 					Stream: i, Issued: r.eng.Now(),
 				})
-				p.pos = (blk + ioBlocks) % diskBlocks
+				ps.pos[i] = (blk + ioBlocks) % diskBlocks
 			}
 			for pending := sched.Len(); pending > 0; pending-- {
-				s := sched
-				diskChain.submit(func(start time.Duration) time.Duration {
-					comp, ok, err := s.Dispatch(start)
-					if err != nil || !ok {
-						return start
-					}
-					p := r.players[comp.Stream]
-					p.drainTo(comp.Finish)
-					if err := p.buf.Fill(units.Bytes(comp.Blocks) * blockSize); err != nil {
-						panic(err)
-					}
-					return comp.Finish
-				})
+				diskChain.submit(chainItem{fn: dispatch, sched: sched})
 			}
 		}
 		r.cycleLoop("disk", diskPlan.Cycle, 0, diskCycles, scheduleCycle)
@@ -172,27 +168,26 @@ func runCached(cfg Config) (Result, error) {
 			cacheCycles = 2
 		}
 		cycles = max(cycles, cacheCycles)
+		cacheRead := func(it *chainItem, start time.Duration) time.Duration {
+			i := int(it.stream)
+			comp, err := cb.Read(start, i, it.req.Block, ioBlocks)
+			if err != nil {
+				return start
+			}
+			r.drainTo(i, comp.Finish)
+			r.fill(i, cachePlan.IOSize)
+			r.noteCacheFill(cachePlan.IOSize)
+			return comp.Finish
+		}
 		scheduleCacheCycle := func(int64) {
+			ps := &r.ar.ps
 			for _, i := range cachedIDs {
-				i := i
-				p := r.players[i]
-				blk := p.pos
+				blk := ps.pos[i]
 				if blk+ioBlocks > imageBlocks {
 					blk = 0
 				}
-				p.pos = (blk + ioBlocks) % max(imageBlocks, 1)
-				chainOf(i).submit(func(start time.Duration) time.Duration {
-					comp, err := cb.Read(start, i, blk, ioBlocks)
-					if err != nil {
-						return start
-					}
-					p.drainTo(comp.Finish)
-					if err := p.buf.Fill(cachePlan.IOSize); err != nil {
-						panic(err)
-					}
-					r.noteCacheFill(cachePlan.IOSize)
-					return comp.Finish
-				})
+				ps.pos[i] = (blk + ioBlocks) % max(imageBlocks, 1)
+				chainOf(i).submit(chainItem{fn: cacheRead, stream: int32(i), req: device.Request{Block: blk}})
 			}
 		}
 		r.cycleLoop("cache", cachePlan.Cycle, 0, cacheCycles, scheduleCacheCycle)

@@ -4,28 +4,38 @@ import (
 	"time"
 
 	"memstream/internal/device"
-	"memstream/internal/disk"
 	"memstream/internal/model"
 	"memstream/internal/units"
 )
 
-// runDirect simulates the baseline disk→DRAM server on the shared rig:
+// directRun is the assembled direct-mode simulation: the rig, the Theorem
+// 1 plan, the resolved horizon, and the per-cycle scheduling stage. It is
+// factored out of runDirect so the cycle-walk benchmark can drive stage
+// directly — the exact code the cycleLoop events execute — without the
+// loop scaffolding or the final drain.
+type directRun struct {
+	r      *rig
+	plan   model.DirectPlan
+	cycles int64
+	end    time.Duration
+	stage  func(c int64)
+}
+
+// newDirect builds the baseline disk→DRAM server on the shared rig:
 // Theorem 1 sizes the IO cycle, and one per-cycle stage enqueues every
 // stream's IO into a C-LOOK batch on the disk chain.
-func runDirect(cfg Config) (Result, error) {
+func newDirect(cfg Config) (*directRun, error) {
 	r, err := newRig(cfg)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	plan, err := model.DiskDirect(model.StreamLoad{N: cfg.N, BitRate: cfg.BitRate}, diskSpec(r.dsk))
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 
 	for i, st := range r.set.Streams {
-		if _, err := r.addPlayer(i, r.diskPos(st), plan.Cycle); err != nil {
-			return Result{}, err
-		}
+		r.addPlayer(i, r.diskPos(st), plan.Cycle)
 	}
 
 	cycles, end, raw := r.horizon(plan.Cycle, 10, 2)
@@ -41,28 +51,44 @@ func runDirect(cfg Config) (Result, error) {
 	// rate profile with the configured coefficient of variation; the
 	// cushion CushionFor computes is prefetched before playback begins.
 	if err := r.shapeVBR(plan.Cycle, int(cycles)+2, nil); err != nil {
-		return Result{}, err
+		return nil, err
 	}
 
 	diskBlocks := r.dsk.Geometry().Blocks
+	blockSize := r.dsk.Geometry().BlockSize
 	diskChain := r.newChain()
 	r.observe("disk", r.dsk, diskChain)
-	scheduleCycle := func(int64) {
-		sched := disk.NewScheduler(r.dsk, disk.CLook)
-		for i := range r.players {
-			p := r.players[i]
+
+	// dispatch services one slot of a cycle's C-LOOK batch: the scheduler
+	// picks its best pending request, the filled stream drains to the
+	// completion time, and the scheduler returns to the pool once empty.
+	dispatch := func(it *chainItem, start time.Duration) time.Duration {
+		comp, ok, err := it.sched.Dispatch(start)
+		r.putSched(it.sched)
+		if err != nil || !ok {
+			return start
+		}
+		i := comp.Stream
+		r.drainTo(i, comp.Finish)
+		r.fill(i, units.Bytes(comp.Blocks)*blockSize)
+		return comp.Finish
+	}
+	stage := func(int64) {
+		sched := r.getSched()
+		ps := &r.ar.ps
+		for i := 0; i < r.n; i++ {
 			if cfg.PausedFraction > 0 {
 				// Interactive service: skip IOs for streams already
 				// holding two cycles of data (paused, or just resumed) —
 				// two cycles, because a resumed stream's next fill can be
 				// almost a full cycle away. The reclaimed slots are the
 				// bandwidth interactive servers redistribute.
-				p.drainTo(r.eng.Now())
-				if p.buf.Level() >= 2*plan.IOSize {
+				r.drainTo(i, r.eng.Now())
+				if ps.level[i] >= 2*plan.IOSize {
 					continue
 				}
 			}
-			blk := p.pos
+			blk := ps.pos[i]
 			if blk+ioBlocks > diskBlocks {
 				blk = 0
 			}
@@ -70,32 +96,33 @@ func runDirect(cfg Config) (Result, error) {
 				Op: device.Read, Block: blk, Blocks: ioBlocks,
 				Stream: i, Issued: r.eng.Now(),
 			})
-			p.pos = (blk + ioBlocks) % diskBlocks
+			ps.pos[i] = (blk + ioBlocks) % diskBlocks
 		}
 		// One chain slot per queued request; each slot dispatches the
 		// scheduler's best pending request at its start time.
-		for pending := sched.Len(); pending > 0; pending-- {
-			s := sched
-			diskChain.submit(func(start time.Duration) time.Duration {
-				comp, ok, err := s.Dispatch(start)
-				if err != nil || !ok {
-					return start
-				}
-				p := r.players[comp.Stream]
-				p.drainTo(comp.Finish)
-				if err := p.buf.Fill(units.Bytes(comp.Blocks) * r.dsk.Geometry().BlockSize); err != nil {
-					// Pool is unlimited; Fill cannot fail.
-					panic(err)
-				}
-				return comp.Finish
-			})
+		pending := sched.Len()
+		if pending == 0 {
+			r.putSched(sched) // every stream skipped this cycle
+			return
+		}
+		for ; pending > 0; pending-- {
+			diskChain.submit(chainItem{fn: dispatch, sched: sched})
 		}
 	}
-	r.cycleLoop("disk", plan.Cycle, 0, cycles, scheduleCycle)
-	r.finish(end)
+	return &directRun{r: r, plan: plan, cycles: cycles, end: end, stage: stage}, nil
+}
 
-	res := r.result(Direct, end, cycles)
-	res.PlannedDRAM = plan.TotalDRAM
+// runDirect simulates the baseline disk→DRAM server.
+func runDirect(cfg Config) (Result, error) {
+	d, err := newDirect(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	d.r.cycleLoop("disk", d.plan.Cycle, 0, d.cycles, d.stage)
+	d.r.finish(d.end)
+
+	res := d.r.result(Direct, d.end, d.cycles)
+	res.PlannedDRAM = d.plan.TotalDRAM
 	res.FromDisk = cfg.N
 	return res, nil
 }

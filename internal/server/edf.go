@@ -30,9 +30,7 @@ func runEDF(cfg Config) (Result, error) {
 	}
 
 	for i, st := range r.set.Streams {
-		if _, err := r.addPlayer(i, r.diskPos(st), plan.Cycle); err != nil {
-			return Result{}, err
-		}
+		r.addPlayer(i, r.diskPos(st), plan.Cycle)
 	}
 	r.observe("disk", r.dsk, nil)
 
@@ -43,14 +41,14 @@ func runEDF(cfg Config) (Result, error) {
 
 	var queue schedule.EDF
 	busy := false
+	ps := &r.ar.ps
 
 	// deadline is the instant stream i's buffer runs dry.
 	deadline := func(i int, now time.Duration) time.Duration {
-		p := r.players[i]
-		level := p.buf.Level()
-		drainStart := p.startAt
-		if p.lastDrain > drainStart {
-			drainStart = p.lastDrain
+		level := r.level(i)
+		drainStart := ps.startAt[i]
+		if ps.lastDrain[i] > drainStart {
+			drainStart = ps.lastDrain[i]
 		}
 		if now < drainStart {
 			// Playback has not begun; the deadline is depletion measured
@@ -81,12 +79,11 @@ func runEDF(cfg Config) (Result, error) {
 		}
 		busy = true
 		i := d.Stream
-		p := r.players[i]
-		blk := p.pos
+		blk := ps.pos[i]
 		if blk+ioBlocks > diskBlocks {
 			blk = 0
 		}
-		p.pos = (blk + ioBlocks) % diskBlocks
+		ps.pos[i] = (blk + ioBlocks) % diskBlocks
 		comp, err := r.dsk.Service(r.eng.Now(), device.Request{
 			Op: device.Read, Block: blk, Blocks: ioBlocks, Stream: i, Issued: r.eng.Now(),
 		})
@@ -95,10 +92,8 @@ func runEDF(cfg Config) (Result, error) {
 			return
 		}
 		r.eng.Schedule(comp.Finish-r.eng.Now(), func() {
-			p.drainTo(comp.Finish)
-			if err := p.buf.Fill(units.Bytes(comp.Blocks) * r.dsk.Geometry().BlockSize); err != nil {
-				panic(err)
-			}
+			r.drainTo(i, comp.Finish)
+			r.fill(i, units.Bytes(comp.Blocks)*r.dsk.Geometry().BlockSize)
 			// Keep one request in flight per stream until the horizon.
 			if comp.Finish < end {
 				issue(i)
@@ -107,15 +102,15 @@ func runEDF(cfg Config) (Result, error) {
 		})
 	}
 
-	for i := range r.players {
+	for i := 0; i < r.n; i++ {
 		issue(i)
 	}
 	r.eng.Schedule(end, func() {
 		r.eng.Stop()
 	})
 	r.eng.RunUntil(end)
-	for _, p := range r.players {
-		p.drainTo(end)
+	for i := 0; i < r.n; i++ {
+		r.drainTo(i, end)
 	}
 
 	res := r.result(Direct, end, int64(end/plan.Cycle))

@@ -7,7 +7,6 @@ import (
 	"memstream/internal/bank"
 	"memstream/internal/cache"
 	"memstream/internal/device"
-	"memstream/internal/disk"
 	"memstream/internal/model"
 	"memstream/internal/units"
 )
@@ -100,9 +99,7 @@ func runHybrid(cfg Config) (Result, error) {
 			pos = int64(st.Offset/blockSize) % max(imageBlocks, 1)
 			startAt = cachePlan.Cycle
 		}
-		if _, err := r.addPlayer(i, pos, startAt); err != nil {
-			return Result{}, err
-		}
+		r.addPlayer(i, pos, startAt)
 		if placement.Contains(st.Title.ID) {
 			if err := cb.Assign(i); err != nil {
 				return Result{}, err
@@ -127,11 +124,33 @@ func runHybrid(cfg Config) (Result, error) {
 	for i, d := range bufDevs {
 		r.observe(fmt.Sprintf("mems%d", i), d, bufChains[i])
 	}
+	// bankIO is the staged write following a disk read: it only occupies
+	// the buffer device.
+	bankIO := func(it *chainItem, ws time.Duration) time.Duration {
+		wc, err := bb.Device(int(it.dev)).Service(ws, it.req)
+		if err != nil {
+			return ws
+		}
+		return wc.Finish
+	}
+	diskDispatch := func(it *chainItem, start time.Duration) time.Duration {
+		comp, ok, err := it.sched.Dispatch(start)
+		r.putSched(it.sched)
+		if err != nil || !ok {
+			return start
+		}
+		wreq, dev, err := bb.StageRequest(comp.Stream, it.cycle, units.Bytes(comp.Blocks)*blockSize)
+		if err != nil {
+			return comp.Finish
+		}
+		bufChains[dev].submit(chainItem{fn: bankIO, req: wreq, dev: int32(dev)})
+		return comp.Finish
+	}
 	scheduleDiskCycle := func(c int64) {
-		sched := disk.NewScheduler(r.dsk, disk.CLook)
+		sched := r.getSched()
+		ps := &r.ar.ps
 		for _, i := range missIDs {
-			p := r.players[i]
-			blk := p.pos
+			blk := ps.pos[i]
 			if blk+diskIOBlocks > diskBlocks {
 				blk = 0
 			}
@@ -139,28 +158,10 @@ func runHybrid(cfg Config) (Result, error) {
 				Op: device.Read, Block: blk, Blocks: diskIOBlocks,
 				Stream: i, Issued: r.eng.Now(),
 			})
-			p.pos = (blk + diskIOBlocks) % diskBlocks
+			ps.pos[i] = (blk + diskIOBlocks) % diskBlocks
 		}
 		for pending := sched.Len(); pending > 0; pending-- {
-			s := sched
-			diskChain.submit(func(start time.Duration) time.Duration {
-				comp, ok, err := s.Dispatch(start)
-				if err != nil || !ok {
-					return start
-				}
-				wreq, dev, err := bb.StageRequest(comp.Stream, c, units.Bytes(comp.Blocks)*blockSize)
-				if err != nil {
-					return comp.Finish
-				}
-				bufChains[dev].submit(func(ws time.Duration) time.Duration {
-					wc, err := bb.Device(dev).Service(ws, wreq)
-					if err != nil {
-						return ws
-					}
-					return wc.Finish
-				})
-				return comp.Finish
-			})
+			diskChain.submit(chainItem{fn: diskDispatch, sched: sched, cycle: c})
 		}
 	}
 
@@ -169,14 +170,22 @@ func runHybrid(cfg Config) (Result, error) {
 	slotCycle := make(map[int]int64, len(missIDs))
 	slotOff := make(map[int]int64, len(missIDs))
 	memsCycles := int64(end / tMems)
+	readerDrain := func(it *chainItem, rs time.Duration) time.Duration {
+		rc, err := bb.Device(int(it.dev)).Service(rs, it.req)
+		if err != nil {
+			return rs
+		}
+		i := int(it.stream)
+		r.drainTo(i, rc.Finish)
+		r.fill(i, units.Bytes(rc.Blocks)*blockSize)
+		return rc.Finish
+	}
 	scheduleMEMSCycle := func(int64) {
 		diskCyc := int64(r.eng.Now() / tDisk)
 		if diskCyc == 0 {
 			return
 		}
 		for _, i := range missIDs {
-			i := i
-			p := r.players[i]
 			if slotCycle[i] != diskCyc {
 				slotCycle[i] = diskCyc
 				slotOff[i] = 0
@@ -193,17 +202,7 @@ func runHybrid(cfg Config) (Result, error) {
 				rreq.Blocks = rem
 			}
 			slotOff[i] += rreq.Blocks
-			bufChains[dev].submit(func(rs time.Duration) time.Duration {
-				rc, err := bb.Device(dev).Service(rs, rreq)
-				if err != nil {
-					return rs
-				}
-				p.drainTo(rc.Finish)
-				if err := p.buf.Fill(units.Bytes(rc.Blocks) * blockSize); err != nil {
-					panic(err)
-				}
-				return rc.Finish
-			})
+			bufChains[dev].submit(chainItem{fn: readerDrain, req: rreq, dev: int32(dev), stream: int32(i)})
 		}
 	}
 
@@ -221,27 +220,26 @@ func runHybrid(cfg Config) (Result, error) {
 		if cacheCycles < 2 {
 			cacheCycles = 2
 		}
+		cacheRead := func(it *chainItem, start time.Duration) time.Duration {
+			i := int(it.stream)
+			comp, err := cb.Read(start, i, it.req.Block, ioBlocks)
+			if err != nil {
+				return start
+			}
+			r.drainTo(i, comp.Finish)
+			r.fill(i, cachePlan.IOSize)
+			r.noteCacheFill(cachePlan.IOSize)
+			return comp.Finish
+		}
 		scheduleCacheCycle := func(int64) {
+			ps := &r.ar.ps
 			for _, i := range cachedIDs {
-				i := i
-				p := r.players[i]
-				blk := p.pos
+				blk := ps.pos[i]
 				if blk+ioBlocks > imageBlocks {
 					blk = 0
 				}
-				p.pos = (blk + ioBlocks) % max(imageBlocks, 1)
-				cacheChain.submit(func(start time.Duration) time.Duration {
-					comp, err := cb.Read(start, i, blk, ioBlocks)
-					if err != nil {
-						return start
-					}
-					p.drainTo(comp.Finish)
-					if err := p.buf.Fill(cachePlan.IOSize); err != nil {
-						panic(err)
-					}
-					r.noteCacheFill(cachePlan.IOSize)
-					return comp.Finish
-				})
+				ps.pos[i] = (blk + ioBlocks) % max(imageBlocks, 1)
+				cacheChain.submit(chainItem{fn: cacheRead, stream: int32(i), req: device.Request{Block: blk}})
 			}
 		}
 		r.cycleLoop("cache", cachePlan.Cycle, 0, cacheCycles, scheduleCacheCycle)

@@ -104,19 +104,20 @@ func (r *rig) observe(name string, dev busyServer, ch *chain) {
 // sample appends one observation for the given cycle loop.
 func (pr *probe) sample(source string, cycle int64) {
 	r := pr.r
+	ps := &r.ar.ps
 	s := Sample{
 		Source:        source,
 		Cycle:         cycle,
 		At:            r.eng.Now(),
-		DRAMInUse:     r.pool.Used(),
-		DRAMHighWater: r.pool.HighWater(),
+		DRAMInUse:     ps.used,
+		DRAMHighWater: ps.highWater,
 	}
 
 	var uf int
 	var ufb units.Bytes
-	for _, p := range r.players {
-		uf += p.underflow
-		ufb += p.deficit
+	for i := 0; i < r.n; i++ {
+		uf += int(ps.underflow[i])
+		ufb += ps.deficit[i]
 	}
 	s.UnderflowsDelta = uf - pr.lastUnderflows
 	s.UnderflowBytesDelta = ufb - pr.lastUnderflowBytes

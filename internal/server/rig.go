@@ -5,8 +5,8 @@ import (
 	"sort"
 	"time"
 
+	"memstream/internal/device"
 	"memstream/internal/disk"
-	"memstream/internal/dram"
 	"memstream/internal/ring"
 	"memstream/internal/sim"
 	"memstream/internal/tier"
@@ -15,13 +15,21 @@ import (
 )
 
 // rig is the shared run-core every architecture driver builds on: it owns
-// the simulation engine, the DRAM pool, the run's RNG, the catalog and the
-// drawn stream population, constructs players, applies the playback
+// the simulation engine, the per-stream playback state, the run's RNG,
+// the catalog and the drawn stream population, applies the playback
 // shaping extensions (VBR traces with cushions, the pause integrator),
 // drives the per-cycle scheduling stages, performs the final drain, and
 // assembles the cross-mode Result fields. Drivers contribute only their
 // architecture: device/bank setup, per-player placement and start times,
 // and the per-cycle scheduling stage each cycleLoop runs.
+//
+// The steady-state machinery is batch-oriented (see state.go): player
+// state lives in struct-of-arrays owned by the arena, consumption
+// profiles index shared cumulative tables instead of capturing a closure
+// per player, service chains carry pooled chainItem values instead of
+// boxed closures, and C-LOOK schedulers are pooled across cycles. All of
+// it reproduces the historical per-player-object arithmetic operation for
+// operation.
 //
 // Determinism contract: newRig consumes the run RNG exactly as every
 // driver historically did (one Uint64 for the stream generator), and the
@@ -29,14 +37,15 @@ import (
 // driver reproduces the pre-rig byte-identical Results for any seed.
 type rig struct {
 	cfg     Config
+	ar      *Arena
 	eng     *sim.Engine
-	pool    *dram.Pool
 	rng     *sim.RNG
 	dsk     *disk.Device
 	cat     *workload.Catalog
 	set     *workload.Set
-	players []*player
 	margins *sim.Reservoir
+	n       int
+	rate    units.ByteRate // every stream's nominal CBR rate
 
 	// tierDevs are the bank devices registered for Result accounting
 	// (busy time, IO counts, utilization over cfg.K).
@@ -54,8 +63,9 @@ type rig struct {
 }
 
 // newRig instantiates the shared machinery: the disk, the catalog laid
-// out on it, the engine, an unlimited accounting pool, the run RNG and
-// the stream population drawn from it.
+// out on it, the engine and player state (from Config.Arena when a
+// pooled arena is supplied, fresh otherwise), the run RNG and the stream
+// population drawn from it.
 func newRig(cfg Config) (*rig, error) {
 	dsk, err := disk.New(cfg.Disk)
 	if err != nil {
@@ -65,8 +75,11 @@ func newRig(cfg Config) (*rig, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng := &sim.Engine{}
-	pool := dram.NewPool(0)
+	ar := cfg.Arena
+	if ar == nil {
+		ar = NewArena()
+	}
+	ar.reset(cfg.N, cfg.Seed^0xabcdef)
 	rng := sim.NewRNG(cfg.Seed)
 	// The generator seed is drawn unconditionally — even when a shard-local
 	// population is injected — so the rig consumes the run RNG identically
@@ -81,9 +94,8 @@ func newRig(cfg Config) (*rig, error) {
 		}
 	}
 	r := &rig{
-		cfg: cfg, eng: eng, pool: pool, rng: rng, dsk: dsk, cat: cat, set: set,
-		players: make([]*player, cfg.N),
-		margins: sim.NewReservoir(8192, cfg.Seed^0xabcdef),
+		cfg: cfg, ar: ar, eng: &ar.eng, rng: rng, dsk: dsk, cat: cat, set: set,
+		margins: ar.margins, n: cfg.N, rate: cfg.BitRate,
 	}
 	if cfg.Trace {
 		r.probe = newProbe(r)
@@ -97,17 +109,63 @@ func (r *rig) diskPos(st workload.Stream) int64 {
 	return (st.Title.StartLB + int64(st.Offset/g.BlockSize)) % g.Blocks
 }
 
-// addPlayer opens stream i's DRAM buffer and installs its player, with
-// playback beginning (and margin tracking anchored) at startAt.
-func (r *rig) addPlayer(i int, pos int64, startAt time.Duration) (*player, error) {
-	buf, err := r.pool.Open(i, r.cfg.BitRate)
-	if err != nil {
-		return nil, err
-	}
-	p := &player{buf: buf, pos: pos, startAt: startAt, lastDrain: startAt, margins: r.margins}
-	r.players[i] = p
-	return p, nil
+// addPlayer installs stream i's playback state, with playback beginning
+// (and margin tracking anchored) at startAt.
+func (r *rig) addPlayer(i int, pos int64, startAt time.Duration) {
+	ps := &r.ar.ps
+	ps.pos[i] = pos
+	ps.startAt[i] = startAt
+	ps.lastDrain[i] = startAt
 }
+
+// drainTo advances stream i's playback to time t: the consumption over
+// [lastDrain, t) leaves its DRAM buffer, underflows are recorded when the
+// buffer held less than the requirement, and the post-drain level lands
+// in the margins reservoir (in playback seconds).
+func (r *rig) drainTo(i int, t time.Duration) {
+	ps := &r.ar.ps
+	if t <= ps.startAt[i] || t <= ps.lastDrain[i] {
+		return
+	}
+	from := ps.lastDrain[i]
+	if from < ps.startAt[i] {
+		from = ps.startAt[i]
+	}
+	var need units.Bytes
+	if ref := ps.cons[i]; ref.kind != consCBR {
+		need = r.ar.tab.consume(ref, from-ps.startAt[i], t-ps.startAt[i])
+	} else {
+		need = units.BytesIn(r.rate, t-from)
+	}
+	if need > 0 {
+		if need <= ps.level[i] {
+			ps.level[i] -= need
+			ps.used -= need
+		} else {
+			ps.deficit[i] += need - ps.level[i]
+			ps.used -= ps.level[i]
+			ps.level[i] = 0
+			ps.underflow[i]++
+		}
+	}
+	r.margins.Observe(ps.level[i].Seconds(r.rate))
+	ps.lastDrain[i] = t
+}
+
+// fill stages n bytes arriving from a device IO into stream i's buffer.
+// The rig's pool is unlimited, so fills cannot fail; what matters is the
+// occupancy accounting and its high-water mark.
+func (r *rig) fill(i int, n units.Bytes) {
+	ps := &r.ar.ps
+	ps.level[i] += n
+	ps.used += n
+	if ps.used > ps.highWater {
+		ps.highWater = ps.used
+	}
+}
+
+// level returns stream i's current buffered bytes.
+func (r *rig) level(i int) units.Bytes { return r.ar.ps.level[i] }
 
 // shapeInteractive wires the pause/resume consumption integrals when
 // Config.PausedFraction asks for interactive playback: every player
@@ -121,8 +179,8 @@ func (r *rig) shapeInteractive(cycle, duration time.Duration) {
 	meanPlay := 5 * cycle.Seconds()
 	meanPause := meanPlay * r.cfg.PausedFraction / (1 - r.cfg.PausedFraction)
 	horizon := (duration + cycle).Seconds()
-	for _, p := range r.players {
-		p.consume = pauseIntegrator(prng, r.cfg.BitRate, meanPlay, meanPause, horizon)
+	for i := 0; i < r.n; i++ {
+		r.ar.ps.cons[i] = r.ar.tab.addPause(prng, float64(r.rate), meanPlay, meanPause, horizon)
 	}
 }
 
@@ -136,17 +194,15 @@ func (r *rig) shapeVBR(interval time.Duration, intervals int, skip func(i int) b
 		return nil
 	}
 	vrng := r.rng.Split()
-	for i, p := range r.players {
+	for i := 0; i < r.n; i++ {
 		if skip != nil && skip(i) {
 			continue
 		}
 		trace := workload.VBRTrace(vrng, r.cfg.BitRate, r.cfg.VBRCoV, intervals)
 		normalizeTrace(trace, r.cfg.BitRate)
-		p.consume = traceIntegrator(trace, interval)
+		r.ar.ps.cons[i] = r.ar.tab.addTrace(trace, interval)
 		if !r.cfg.NoCushion {
-			if err := p.buf.Fill(workload.CushionFor(trace, interval)); err != nil {
-				return err
-			}
+			r.fill(i, workload.CushionFor(trace, interval))
 		}
 	}
 	return nil
@@ -174,8 +230,19 @@ func (r *rig) horizon(cycle time.Duration, defCycles, minCycles int64) (cycles i
 	return cycles, time.Duration(cycles) * cycle, raw
 }
 
-// newChain allocates a FIFO service chain on the rig's engine.
-func (r *rig) newChain() *chain { return &chain{eng: r.eng} }
+// newChain hands out a pooled FIFO service chain on the rig's engine.
+func (r *rig) newChain() *chain { return r.ar.getChain(r.eng) }
+
+// getSched / putSched pool the per-cycle C-LOOK schedulers: a cycle stage
+// borrows one, its dispatch items drain it, and the item that empties it
+// returns it — so consecutive cycles whose batches overlap in time each
+// hold their own scheduler while an idle run recycles a single one.
+func (r *rig) getSched() *disk.Scheduler { return r.ar.getSched(r.dsk) }
+func (r *rig) putSched(s *disk.Scheduler) {
+	if s.Len() == 0 {
+		r.ar.putSched(s)
+	}
+}
 
 // cycleLoop drives one periodic scheduling stage: fn runs once per cycle
 // c ∈ [first, first+n) at time c·period. When a probe is attached, the
@@ -222,8 +289,8 @@ func runCycleCall(arg any) {
 // calendar dry.
 func (r *rig) finish(end time.Duration) {
 	r.eng.Schedule(end, func() {
-		for _, p := range r.players {
-			p.drainTo(end)
+		for i := 0; i < r.n; i++ {
+			r.drainTo(i, end)
 		}
 	})
 	r.eng.Run()
@@ -255,7 +322,7 @@ func (r *rig) result(mode Mode, end time.Duration, cycles int64) Result {
 		SimulatedTime: end,
 		Cycles:        cycles,
 		Events:        r.eng.Executed(),
-		DRAMHighWater: r.pool.HighWater(),
+		DRAMHighWater: r.ar.ps.highWater,
 		DiskBusy:      r.dsk.BusyTime(),
 		DiskUtil:      float64(r.dsk.BusyTime()) / float64(end),
 		DiskIOs:       r.dsk.Served(),
@@ -269,9 +336,9 @@ func (r *rig) result(mode Mode, end time.Duration, cycles int64) Result {
 		res.MEMSBusy = memsBusy
 		res.MEMSUtil = float64(memsBusy) / (float64(end) * float64(r.cfg.K))
 	}
-	for _, p := range r.players {
-		res.Underflows += p.underflow
-		res.UnderflowBytes += p.deficit
+	for i := 0; i < r.n; i++ {
+		res.Underflows += int(r.ar.ps.underflow[i])
+		res.UnderflowBytes += r.ar.ps.deficit[i]
 	}
 	if m, ok := r.margins.Quantile(0.05); ok {
 		res.MarginP5 = units.Seconds(m)
@@ -282,25 +349,54 @@ func (r *rig) result(mode Mode, end time.Duration, cycles int64) Result {
 	return res
 }
 
+// chainItem is one unit of work on a service chain: a static-per-run
+// handler plus the item's dynamic operands, carried by value through the
+// chain's ring buffer. Drivers build one handler closure per item shape
+// per run (capturing the run's banks, chains and geometry once) instead
+// of boxing a fresh closure per item per cycle; the operand fields cover
+// every driver's item shapes.
+type chainItem struct {
+	fn     func(it *chainItem, start time.Duration) time.Duration
+	sched  *disk.Scheduler // C-LOOK dispatch items
+	req    device.Request  // bank/device service items
+	dev    int32           // bank device index
+	stream int32           // player index
+	cycle  int64           // disk-cycle parity for staged slots
+}
+
 // chain serializes work on one device: items run back-to-back in FIFO
 // order, each receiving its start time and returning its finish time.
 // Two priorities exist: real-time items (submit) always run before
 // queued best-effort items (submitLow), which soak up spare bandwidth
 // (§3.1.2) without delaying any already-queued real-time work.
 //
-// Both queues are ring buffers (O(1) dequeue at any depth) and the
-// completion event goes through the kernel's ScheduleArg fast path, so a
-// busy chain's dispatch loop allocates nothing in steady state.
+// Both queues are ring buffers of chainItem values (O(1) dequeue at any
+// depth, no per-item boxing) and the completion event goes through the
+// kernel's ScheduleArg fast path, so a busy chain's dispatch loop
+// allocates nothing in steady state.
 type chain struct {
 	eng  *sim.Engine
 	busy bool
 	last time.Duration
-	q    ring.Ring[func(start time.Duration) time.Duration]
-	low  ring.Ring[func(start time.Duration) time.Duration]
+	// cur is the item in service. It lives in the chain (not a runNext
+	// local) because the handler receives its address through an indirect
+	// call, which would otherwise force a per-item heap escape.
+	cur chainItem
+	q   ring.Ring[chainItem]
+	low ring.Ring[chainItem]
 }
 
-func (c *chain) submit(fn func(start time.Duration) time.Duration) {
-	c.q.PushBack(fn)
+// reset re-arms a pooled chain, keeping both rings' storage.
+func (c *chain) reset() {
+	c.busy = false
+	c.last = 0
+	c.cur = chainItem{}
+	c.q.Reset()
+	c.low.Reset()
+}
+
+func (c *chain) submit(it chainItem) {
+	c.q.PushBack(it)
 	if !c.busy {
 		c.busy = true
 		c.runNext()
@@ -309,8 +405,8 @@ func (c *chain) submit(fn func(start time.Duration) time.Duration) {
 
 // submitLow enqueues best-effort work served only when no real-time item
 // is waiting.
-func (c *chain) submitLow(fn func(start time.Duration) time.Duration) {
-	c.low.PushBack(fn)
+func (c *chain) submitLow(it chainItem) {
+	c.low.PushBack(it)
 	if !c.busy {
 		c.busy = true
 		c.runNext()
@@ -331,12 +427,11 @@ func (c *chain) depth() int {
 func chainRunNext(arg any) { arg.(*chain).runNext() }
 
 func (c *chain) runNext() {
-	var fn func(start time.Duration) time.Duration
 	switch {
 	case c.q.Len() > 0:
-		fn = c.q.PopFront()
+		c.cur = c.q.PopFront()
 	case c.low.Len() > 0:
-		fn = c.low.PopFront()
+		c.cur = c.low.PopFront()
 	default:
 		c.busy = false
 		return
@@ -345,57 +440,12 @@ func (c *chain) runNext() {
 	if c.last > start {
 		start = c.last
 	}
-	finish := fn(start)
+	finish := c.cur.fn(&c.cur, start)
 	if finish < start {
 		finish = start
 	}
 	c.last = finish
 	c.eng.ScheduleArg(finish-c.eng.Now(), chainRunNext, c)
-}
-
-// player tracks one stream's playback state. Playback begins at startAt
-// (after the priming cycle) and drains lazily: every fill and the end of
-// the run advance the drain clock.
-type player struct {
-	buf       *dram.StreamBuffer
-	pos       int64 // next block to read from its source device
-	lastDrain time.Duration
-	startAt   time.Duration
-	deficit   units.Bytes
-	underflow int
-
-	// consume, when set, integrates a VBR consumption profile over
-	// [from, to) measured from playback start; nil means CBR at the
-	// buffer's nominal rate.
-	consume func(from, to time.Duration) units.Bytes
-
-	// margins, when set, records the post-drain buffer level in playback
-	// seconds — the delivery margin distribution.
-	margins *sim.Reservoir
-}
-
-func (p *player) drainTo(t time.Duration) {
-	if t <= p.startAt || t <= p.lastDrain {
-		return
-	}
-	from := p.lastDrain
-	if from < p.startAt {
-		from = p.startAt
-	}
-	var d units.Bytes
-	if p.consume != nil {
-		d = p.buf.DrainBytes(p.consume(from-p.startAt, t-p.startAt))
-	} else {
-		d = p.buf.Drain(t - from)
-	}
-	if d > 0 {
-		p.deficit += d
-		p.underflow++
-	}
-	if p.margins != nil {
-		p.margins.Observe(p.buf.Level().Seconds(p.buf.Rate()))
-	}
-	p.lastDrain = t
 }
 
 // normalizeTrace rescales a VBR trace so its mean is exactly the nominal
@@ -421,6 +471,11 @@ func normalizeTrace(trace []units.ByteRate, nominal units.ByteRate) {
 // traceIntegrator returns the consumption integral of a piecewise-constant
 // rate profile with interval length dt; offsets are measured from playback
 // start and the profile repeats beyond its end.
+//
+// The steady-state rig consumes traces through consTables (state.go),
+// which reproduces this arithmetic over shared arrays; the closure form
+// survives as the behavioral reference the equivalence tests compare
+// against.
 func traceIntegrator(trace []units.ByteRate, dt time.Duration) func(from, to time.Duration) units.Bytes {
 	prefix := make([]float64, len(trace)+1) // bytes consumed by end of interval i
 	for i, r := range trace {
@@ -446,6 +501,9 @@ func traceIntegrator(trace []units.ByteRate, dt time.Duration) func(from, to tim
 // pauseIntegrator builds a consumption integral for a play/pause process:
 // alternating exponentially distributed play (consuming at rate) and
 // pause (consuming nothing) phases, precomputed out to horizon seconds.
+//
+// Like traceIntegrator, this closure form is the behavioral reference for
+// consTables.addPause/pauseAt, which the rig uses in steady state.
 func pauseIntegrator(rng *sim.RNG, rate units.ByteRate, meanPlay, meanPause, horizon float64) func(from, to time.Duration) units.Bytes {
 	// boundaries[i] alternates play-end, pause-end, ...; consumed[i] is the
 	// cumulative consumption at boundaries[i].

@@ -130,6 +130,17 @@ type Config struct {
 
 	Duration time.Duration // simulated run length; 0 = 10 disk cycles
 	Seed     uint64
+
+	// Arena, when non-nil, supplies the reusable simulation state (event
+	// engine, player arrays, consumption tables, chain and scheduler
+	// pools) this run executes in. A caller running many configurations
+	// back to back — the shard partition loop above all — creates one
+	// Arena per goroutine and threads it through every run so steady
+	// state stops allocating. An Arena must not be shared by concurrent
+	// runs; reuse never changes a Result (the pinned-golden gates hold
+	// arena and arena-free runs byte-identical). Nil means the run builds
+	// a private arena.
+	Arena *Arena
 }
 
 // Result summarizes a run.

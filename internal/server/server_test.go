@@ -285,14 +285,14 @@ func TestChainSerializesWork(t *testing.T) {
 	ch := &chain{eng: eng}
 	var order []int
 	var finishes []time.Duration
+	work := func(it *chainItem, start time.Duration) time.Duration {
+		order = append(order, int(it.stream))
+		f := start + 10*time.Millisecond
+		finishes = append(finishes, f)
+		return f
+	}
 	for i := 0; i < 3; i++ {
-		i := i
-		ch.submit(func(start time.Duration) time.Duration {
-			order = append(order, i)
-			f := start + 10*time.Millisecond
-			finishes = append(finishes, f)
-			return f
-		})
+		ch.submit(chainItem{fn: work, stream: int32(i)})
 	}
 	eng.Run()
 	if len(order) != 3 || order[0] != 0 || order[2] != 2 {
@@ -311,14 +311,14 @@ func TestChainHandlesRegressingFinish(t *testing.T) {
 	eng := &sim.Engine{}
 	ch := &chain{eng: eng}
 	ran := 0
-	ch.submit(func(start time.Duration) time.Duration {
+	ch.submit(chainItem{fn: func(_ *chainItem, start time.Duration) time.Duration {
 		ran++
 		return start - time.Second // misbehaving item: finish before start
-	})
-	ch.submit(func(start time.Duration) time.Duration {
+	}})
+	ch.submit(chainItem{fn: func(_ *chainItem, start time.Duration) time.Duration {
 		ran++
 		return start
-	})
+	}})
 	eng.Run()
 	if ran != 2 {
 		t.Errorf("ran = %d, want 2 (chain must not stall)", ran)

@@ -215,6 +215,12 @@ func Run(plan Plan, rootSeed uint64, shards int) (Report, error) {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
+			// One arena per shard goroutine: partition p+1 runs in the
+			// storage partition p grew, so the steady-state loop stops
+			// allocating per partition. Arenas are goroutine-local, never
+			// shared, and arena reuse is pinned byte-identical to
+			// arena-free runs by the goldens and the 1-vs-8 shard gate.
+			arena := server.NewArena()
 			for p := s; p < plan.Partitions; p += shards {
 				tokens <- struct{}{}
 				seed := SeedFor(rootSeed, p)
@@ -222,6 +228,7 @@ func Run(plan Plan, rootSeed uint64, shards int) (Report, error) {
 				cfg, err := plan.Build(p, seed)
 				if err == nil {
 					cfg.Seed = seed
+					cfg.Arena = arena
 					runStart := time.Now()
 					pr.Result, err = server.Run(cfg)
 					pr.Wall = time.Since(runStart)

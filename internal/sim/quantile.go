@@ -21,6 +21,16 @@ func NewReservoir(capacity int, seed uint64) *Reservoir {
 	return &Reservoir{cap: capacity, rng: NewRNG(seed)}
 }
 
+// Reset empties the reservoir and reseeds its RNG, keeping the sample
+// storage. A reset reservoir observes a stream exactly as a fresh
+// NewReservoir(capacity, seed) would.
+func (r *Reservoir) Reset(seed uint64) {
+	r.seen = 0
+	r.samples = r.samples[:0]
+	r.dirty = false
+	r.rng = NewRNG(seed)
+}
+
 // Observe records one sample.
 func (r *Reservoir) Observe(v float64) {
 	r.seen++

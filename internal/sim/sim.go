@@ -353,3 +353,26 @@ func (e *Engine) RunUntil(deadline Time) {
 
 // Stop makes Run/RunUntil return after the current event completes.
 func (e *Engine) Stop() { e.running = false }
+
+// Reset returns the engine to its zero state while keeping the calendar
+// and slot-arena storage, so a pooled engine's next run schedules without
+// re-growing either. Every outstanding Event handle is invalidated by the
+// per-slot generation bump — exactly as if each event had fired.
+//
+// Behavioral note for run-equivalence: slot indices never participate in
+// event ordering (the calendar orders by (time, sequence) alone), so a
+// reset engine replays any schedule byte-identically to a fresh one.
+func (e *Engine) Reset() {
+	e.now, e.seq, e.executed = 0, 0, 0
+	e.running = false
+	e.cal = e.cal[:0]
+	e.free = e.free[:0]
+	for i := len(e.slots) - 1; i >= 0; i-- {
+		s := &e.slots[i]
+		s.fn, s.afn, s.arg = nil, nil, nil
+		s.dead = false
+		s.gen++
+		e.free = append(e.free, int32(i))
+	}
+	e.live, e.dead = 0, 0
+}

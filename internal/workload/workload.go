@@ -52,6 +52,10 @@ type Title struct {
 type Catalog struct {
 	Titles []Title
 	total  float64
+
+	// sampler serves Pick in O(1) per draw; nil for degenerate weight
+	// vectors (non-finite or negative), which keep the linear scan.
+	sampler *Sampler
 }
 
 // XYDistribution is the paper's popularity model: X% of titles receive Y%
@@ -160,6 +164,7 @@ func NewCatalog(n int, c MediaClass, w []float64, blockSize units.Bytes) (*Catal
 		cat.total += w[i]
 		lbn += blocks
 	}
+	cat.sampler = NewSampler(w, cat.total)
 	return cat, nil
 }
 
@@ -173,8 +178,21 @@ func (c *Catalog) TotalSize() units.Bytes {
 	return s
 }
 
-// Pick draws a title according to the popularity weights.
+// Pick draws a title according to the popularity weights. The draw is
+// O(1) in the catalog size (see Sampler) and byte-identical to the linear
+// subtraction scan it replaced, which survives as pickLinear — both the
+// behavioral reference for the equivalence tests and the fallback for
+// weight vectors the sampler refuses (non-finite or negative weights).
 func (c *Catalog) Pick(rng *sim.RNG) *Title {
+	if c.sampler != nil {
+		return &c.Titles[c.sampler.Draw(rng)]
+	}
+	return c.pickLinear(rng)
+}
+
+// pickLinear is the legacy draw: one Float64 scaled to the weight total,
+// walked down the weights until it crosses zero.
+func (c *Catalog) pickLinear(rng *sim.RNG) *Title {
 	u := rng.Float64() * c.total
 	for i := range c.Titles {
 		u -= c.Titles[i].Weight
@@ -183,6 +201,18 @@ func (c *Catalog) Pick(rng *sim.RNG) *Title {
 		}
 	}
 	return &c.Titles[len(c.Titles)-1]
+}
+
+// pickLinearAt resolves an explicit u against the subtraction scan —
+// the oracle the sampler equivalence tests probe boundary-by-boundary.
+func (c *Catalog) pickLinearAt(u float64) int {
+	for i := range c.Titles {
+		u -= c.Titles[i].Weight
+		if u <= 0 {
+			return i
+		}
+	}
+	return len(c.Titles) - 1
 }
 
 // TopFraction returns how much access probability the most popular

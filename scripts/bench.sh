@@ -51,10 +51,11 @@ TMP_PERF="$(mktemp)"
 TMP_ART="$(mktemp -d)"
 trap 'rm -rf "$TMP_BENCH" "$TMP_PERF" "$TMP_ART"' EXIT
 
-echo "bench: sim + metrics + wheel + serve microbenchmarks" >&2
+echo "bench: sim + metrics + wheel + serve + server + workload microbenchmarks" >&2
 go test -run '^$' -bench "${BENCH_PATTERN:-.}" -benchmem \
     -benchtime "${BENCH_TIME:-1s}" \
-    ./internal/sim/ ./internal/metrics/ ./internal/wheel/ ./internal/serve/ | tee "$TMP_BENCH" >&2
+    ./internal/sim/ ./internal/metrics/ ./internal/wheel/ ./internal/serve/ \
+    ./internal/server/ ./internal/workload/ | tee "$TMP_BENCH" >&2
 
 echo "bench: experiment suite (memsbench -perf)" >&2
 go run ./cmd/memsbench -parallel 1 -perf "$TMP_PERF" -out "$TMP_ART" >/dev/null
